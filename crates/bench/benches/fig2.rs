@@ -1,0 +1,27 @@
+//! Criterion bench for the Fig. 2 pipeline: lowering + simulating the DP
+//! baseline and Pipe-BD on NAS/CIFAR-10 and computing the breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipebd_core::{ExperimentBuilder, Strategy};
+use pipebd_models::Workload;
+use pipebd_sim::HardwareConfig;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let e = ExperimentBuilder::new(Workload::nas_cifar10())
+        .hardware(HardwareConfig::a6000_server(4))
+        .sim_rounds(8)
+        .build()
+        .expect("valid experiment");
+    let mut group = c.benchmark_group("fig2_motivation");
+    group.bench_function("dp_breakdown", |b| {
+        b.iter(|| black_box(e.run(Strategy::DataParallel).expect("DP lowers")))
+    });
+    group.bench_function("pipebd_breakdown", |b| {
+        b.iter(|| black_box(e.run(Strategy::PipeBd).expect("Pipe-BD lowers")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

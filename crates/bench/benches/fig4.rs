@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig. 4 ablation sweep: all six strategies on
+//! one NAS and one compression workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipebd_core::{ExperimentBuilder, Strategy};
+use pipebd_models::Workload;
+use pipebd_sim::HardwareConfig;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_ablation");
+    for (name, workload) in [
+        ("nas_cifar10", Workload::nas_cifar10()),
+        ("compression_cifar10", Workload::compression_cifar10()),
+    ] {
+        let e = ExperimentBuilder::new(workload)
+            .hardware(HardwareConfig::a6000_server(4))
+            .sim_rounds(8)
+            .build()
+            .expect("valid experiment");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for s in Strategy::ALL {
+                    black_box(e.run(s).expect("all strategies lower here"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

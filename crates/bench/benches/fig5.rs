@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig. 5 machinery: the AHD profile + search on
+//! both GPU types, and the Gantt rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipebd_core::{ExperimentBuilder, Strategy};
+use pipebd_models::Workload;
+use pipebd_sim::HardwareConfig;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_gpu_sensitivity");
+    for (name, hw) in [
+        ("a6000", HardwareConfig::a6000_server(4)),
+        ("rtx2080ti", HardwareConfig::rtx2080ti_server(4)),
+    ] {
+        let e = ExperimentBuilder::new(Workload::nas_imagenet())
+            .hardware(hw)
+            .sim_rounds(4)
+            .build()
+            .expect("valid experiment");
+        group.bench_function(format!("ahd_search_{name}"), |b| {
+            b.iter(|| black_box(e.ahd_decision()))
+        });
+        group.bench_function(format!("gantt_{name}"), |b| {
+            b.iter(|| black_box(e.gantt(Strategy::PipeBd, 100).expect("renders")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the Fig. 6 batch-size sweep: DP vs Pipe-BD at four
+//! global batch sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipebd_core::{ExperimentBuilder, Strategy};
+use pipebd_models::Workload;
+use pipebd_sim::HardwareConfig;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_batch_sensitivity");
+    group.bench_function("nas_cifar10_sweep", |b| {
+        b.iter(|| {
+            for batch in [128usize, 256, 384, 512] {
+                let e = ExperimentBuilder::new(Workload::nas_cifar10())
+                    .hardware(HardwareConfig::a6000_server(4))
+                    .batch_size(batch)
+                    .sim_rounds(4)
+                    .build()
+                    .expect("valid experiment");
+                let dp = e.run(Strategy::DataParallel).expect("DP lowers");
+                let pb = e.run(Strategy::PipeBd).expect("Pipe-BD lowers");
+                black_box(pb.speedup_over(&dp));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

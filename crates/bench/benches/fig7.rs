@@ -1,0 +1,31 @@
+//! Criterion bench for the Fig. 7 memory accounting across strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipebd_core::{memory_per_rank, Strategy};
+use pipebd_models::Workload;
+use pipebd_sched::StagePlan;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let w = Workload::nas_imagenet();
+    let plan = StagePlan::contiguous(6, 4).expect("6 blocks on 4 devices");
+    let mut group = c.benchmark_group("fig7_memory");
+    group.bench_function("memory_accounting_all_strategies", |b| {
+        b.iter(|| {
+            black_box(memory_per_rank(
+                Strategy::DataParallel,
+                &w,
+                4,
+                256,
+                None,
+                None,
+            ));
+            black_box(memory_per_rank(Strategy::TrDpu, &w, 4, 256, Some(&plan), None));
+            black_box(memory_per_rank(Strategy::TrIr, &w, 4, 256, None, None));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Microbenches of the substrates: tensor kernels, the event engine, plan
+//! enumeration, and the profiler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipebd_models::Workload;
+use pipebd_sched::{enumerate_hybrid_plans, CostModel, Profiler};
+use pipebd_sim::{simulate, GpuModel, Resource, SimTime, TaskGraph, TaskKind};
+use pipebd_tensor::{conv2d, Conv2dSpec, Rng64, Tensor};
+use std::hint::black_box;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from_u64(0);
+    let a = Tensor::randn(&[64, 64], &mut rng);
+    let b = Tensor::randn(&[64, 64], &mut rng);
+    c.bench_function("tensor/matmul_64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).expect("shapes match")))
+    });
+
+    let x = Tensor::randn(&[4, 8, 16, 16], &mut rng);
+    let w = Tensor::randn(&[8, 8, 3, 3], &mut rng);
+    let spec = Conv2dSpec::dense(8, 8, 3, 1, 1);
+    c.bench_function("tensor/conv2d_8x16x16", |bench| {
+        bench.iter(|| black_box(conv2d(&x, &w, spec).expect("shapes match")))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // A 4-device pipeline of 1000 rounds (≈12k tasks).
+    let mut g = TaskGraph::new(4);
+    for round in 0..1000u32 {
+        let mut prev = None;
+        for d in 0..4 {
+            let deps = prev.into_iter().collect();
+            let t = g.add_tagged(
+                Resource::Gpu(d),
+                TaskKind::Teacher,
+                SimTime::from_us(10.0),
+                deps,
+                Some(d as u16),
+                round,
+            );
+            let send = g.add_tagged(
+                Resource::Copy(d),
+                TaskKind::Comm,
+                SimTime::from_us(1.0),
+                vec![t],
+                Some(d as u16),
+                round,
+            );
+            g.add_tagged(
+                Resource::Gpu(d),
+                TaskKind::Student,
+                SimTime::from_us(30.0),
+                vec![t],
+                Some(d as u16),
+                round,
+            );
+            prev = Some(send);
+        }
+    }
+    c.bench_function("engine/simulate_12k_tasks", |bench| {
+        bench.iter(|| black_box(simulate(&g)))
+    });
+}
+
+fn bench_sched(c: &mut Criterion) {
+    c.bench_function("sched/enumerate_13x4", |bench| {
+        bench.iter(|| black_box(enumerate_hybrid_plans(13, 4)))
+    });
+    let w = Workload::nas_imagenet();
+    let profiler = Profiler::new(CostModel::new(GpuModel::a6000()));
+    c.bench_function("sched/profile_nas_imagenet", |bench| {
+        bench.iter(|| black_box(profiler.profile(&w.model, 256, 4)))
+    });
+}
+
+criterion_group!(benches, bench_tensor, bench_engine, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the Table II pipeline: full DP/LS/Pipe-BD epoch
+//! extrapolation on one workload, plus the functional parity check that
+//! stands in for the accuracy columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipebd_core::exec::{reference, threaded, FuncConfig};
+use pipebd_core::{ExperimentBuilder, Strategy};
+use pipebd_data::SyntheticImageDataset;
+use pipebd_models::{mini_student_dsconv, mini_teacher, MiniConfig, Workload};
+use pipebd_sim::HardwareConfig;
+use pipebd_tensor::Rng64;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_results");
+    let e = ExperimentBuilder::new(Workload::compression_cifar10())
+        .hardware(HardwareConfig::a6000_server(4))
+        .sim_rounds(8)
+        .build()
+        .expect("valid experiment");
+    group.bench_function("epoch_times_dp_ls_pipebd", |b| {
+        b.iter(|| {
+            black_box(e.run(Strategy::DataParallel).expect("DP"));
+            black_box(e.run(Strategy::LayerwiseScheduling).expect("LS"));
+            black_box(e.run(Strategy::PipeBd).expect("Pipe-BD"));
+        })
+    });
+
+    let cfg = MiniConfig {
+        blocks: 3,
+        channels: 4,
+        batch_norm: false,
+    };
+    let mut rng = Rng64::seed_from_u64(0);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let student = mini_student_dsconv(cfg, &mut rng);
+    let data = SyntheticImageDataset::mini(64, 8, 4, 1);
+    let func = FuncConfig {
+        devices: 3,
+        steps: 3,
+        batch: 6,
+        ..FuncConfig::default()
+    };
+    group.bench_function("functional_parity_check", |b| {
+        b.iter(|| {
+            let golden = reference::run(&teacher, &student, &data, &func).expect("reference");
+            let pipebd = threaded::run(&teacher, &student, &data, &func).expect("threaded");
+            black_box(pipebd.max_param_diff(&golden))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

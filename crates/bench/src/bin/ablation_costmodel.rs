@@ -1,0 +1,71 @@
+//! Ablation: how sensitive are the paper's conclusions to the simulator's
+//! calibration knobs?
+//!
+//! DESIGN.md calls out three modeling choices: the occupancy
+//! half-saturation point (`occ_half`), the loader decode cost, and the
+//! prefetch depth (fixed at 4). This harness sweeps the first two across
+//! an order of magnitude and reports the Pipe-BD-over-DP speedup for each
+//! setting — demonstrating that *who wins* is calibration-independent even
+//! though *by how much* moves.
+
+use pipebd_bench::header;
+use pipebd_core::{ExperimentBuilder, Strategy};
+use pipebd_models::Workload;
+use pipebd_sim::HardwareConfig;
+
+fn speedup(workload: Workload, hw: HardwareConfig) -> f64 {
+    let e = ExperimentBuilder::new(workload)
+        .hardware(hw)
+        .batch_size(256)
+        .sim_rounds(8)
+        .build()
+        .expect("valid");
+    let dp = e.run(Strategy::DataParallel).expect("DP");
+    let pb = e.run(Strategy::PipeBd).expect("Pipe-BD");
+    pb.speedup_over(&dp)
+}
+
+fn main() {
+    header(
+        "Ablation — cost-model sensitivity of the headline result",
+        "Pipe-BD speedup over DP under calibration sweeps (NAS + compression, CIFAR-10)",
+    );
+
+    println!("\n(1) occupancy half-saturation (baseline 3.5e6 for the A6000):");
+    println!("{:>12} {:>12} {:>14}", "occ_half", "NAS", "compression");
+    for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let mut hw = HardwareConfig::a6000_server(4);
+        hw.gpu.occ_half *= scale;
+        let nas = speedup(Workload::nas_cifar10(), hw.clone());
+        let comp = speedup(Workload::compression_cifar10(), hw);
+        println!("{:>12.2e} {nas:>11.2}x {comp:>13.2}x", 3.5e6 * scale);
+        assert!(nas > 1.0 && comp > 1.0, "Pipe-BD must win at every setting");
+    }
+
+    println!("\n(2) loader decode cost (baseline 25us/sample for CIFAR-10):");
+    println!("{:>12} {:>12} {:>14}", "decode", "NAS", "compression");
+    for scale in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+        let hw = HardwareConfig::a6000_server(4);
+        let mut nas_w = Workload::nas_cifar10();
+        nas_w.dataset.decode_us_per_sample *= scale;
+        let mut comp_w = Workload::compression_cifar10();
+        comp_w.dataset.decode_us_per_sample *= scale;
+        let nas = speedup(nas_w, hw.clone());
+        let comp = speedup(comp_w, hw);
+        println!("{:>10.1}us {nas:>11.2}x {comp:>13.2}x", 25.0 * scale);
+        assert!(nas > 1.0 && comp > 1.0, "Pipe-BD must win at every setting");
+    }
+
+    println!("\n(3) device count (4 is the paper's default):");
+    println!("{:>12} {:>12} {:>14}", "devices", "NAS", "compression");
+    for n in [2usize, 4, 8] {
+        let hw = HardwareConfig::a6000_server(n);
+        let nas = speedup(Workload::nas_cifar10(), hw.clone());
+        let comp = speedup(Workload::compression_cifar10(), hw);
+        println!("{n:>12} {nas:>11.2}x {comp:>13.2}x");
+        assert!(nas > 1.0 && comp > 1.0, "Pipe-BD must win at every scale");
+    }
+
+    println!("\nConclusion: Pipe-BD > DP at every sweep point; magnitudes move");
+    println!("with calibration but the orderings the paper claims do not.");
+}

@@ -1,0 +1,102 @@
+//! Fig. 2 — motivational breakdown.
+//!
+//! Reproduces the paper's motivational experiment: per-epoch time of the
+//! DP baseline on NAS/CIFAR-10 (4× A6000), broken into data loading,
+//! teacher execution, student execution, and idle; an "ideal" bar (each
+//! part measured in isolation on one device at full batch, divided by 4);
+//! and Pipe-BD's per-rank bars, which should sit close to the ideal.
+
+use pipebd_bench::{bar, experiment, fmt_paper_time, header, HARNESS_ROUNDS};
+use pipebd_core::Strategy;
+use pipebd_models::Workload;
+use pipebd_sched::CostModel;
+use pipebd_sim::HardwareConfig;
+
+fn main() {
+    let hw = HardwareConfig::a6000_server(4);
+    let e = experiment(Workload::nas_cifar10(), hw.clone(), 256);
+    header(
+        "Fig. 2 — Motivational experiment (time/epoch breakdown)",
+        &format!(
+            "NAS on CIFAR-10, {}, batch 256, {} simulated rounds/epoch extrapolation",
+            hw.label(),
+            HARNESS_ROUNDS
+        ),
+    );
+
+    let dp = e.run(Strategy::DataParallel).expect("DP lowers");
+    let pb = e.run(Strategy::PipeBd).expect("Pipe-BD lowers");
+
+    // Ideal: each part measured separately at full batch on one device,
+    // divided by the device count (the paper's imaginary perfectly
+    // parallel system with infinite memory).
+    let w = Workload::nas_cifar10();
+    let cm = CostModel::new(hw.gpu.clone());
+    let rounds = e.epoch_rounds() as f64;
+    let n = hw.num_gpus as f64;
+    let ideal_teacher: f64 = w
+        .model
+        .blocks
+        .iter()
+        .map(|b| cm.teacher_time(b, 256).as_secs_f64())
+        .sum::<f64>()
+        * rounds
+        / n;
+    let ideal_student: f64 = w
+        .model
+        .blocks
+        .iter()
+        .map(|b| (cm.student_time(b, 256) + cm.update_time(b)).as_secs_f64())
+        .sum::<f64>()
+        * rounds
+        / n;
+    let batch_bytes = 256 * w.dataset.sample_bytes() as usize;
+    let ideal_load = hw
+        .host
+        .consume_time(256, batch_bytes as u64, &hw.pcie)
+        .as_secs_f64()
+        * rounds
+        / n;
+
+    let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    // Baseline: rank 0 is representative (DP ranks are symmetric).
+    let (l, t, s, i) = dp.epoch_breakdown_row(0);
+    rows.push(("Baseline (DP)".into(), l, t, s, i));
+    rows.push(("Ideal".into(), ideal_load, ideal_teacher, ideal_student, 0.0));
+    for rank in 0..hw.num_gpus {
+        let (l, t, s, i) = pb.epoch_breakdown_row(rank);
+        rows.push((format!("Pipe-BD rank{rank}"), l, t, s, i));
+    }
+
+    let max_total = rows
+        .iter()
+        .map(|(_, l, t, s, i)| l + t + s + i)
+        .fold(0.0f64, f64::max);
+
+    println!(
+        "{:16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "", "load", "T exec", "S exec", "idle", "total"
+    );
+    for (name, l, t, s, i) in &rows {
+        println!(
+            "{name:16} {l:>9.2} {t:>9.2} {s:>9.2} {i:>9.2} {:>9.2}  |{}",
+            l + t + s + i,
+            bar(l + t + s + i, max_total, 34)
+        );
+    }
+    println!();
+    println!(
+        "DP epoch      : {}   (paper, 4x A6000: 31.52s.)",
+        fmt_paper_time(dp.epoch_time_s())
+    );
+    println!(
+        "Pipe-BD epoch : {}   (paper: 10.23s.)  speedup {:.2}x (paper 3.08x)",
+        fmt_paper_time(pb.epoch_time_s()),
+        pb.speedup_over(&dp)
+    );
+    println!(
+        "Ideal epoch   : {}   (sum of isolated parts / {})",
+        fmt_paper_time(ideal_load + ideal_teacher + ideal_student),
+        hw.num_gpus
+    );
+}

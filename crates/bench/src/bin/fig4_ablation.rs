@@ -1,0 +1,59 @@
+//! Fig. 4 — speedup and ablation of baselines and Pipe-BD.
+//!
+//! For (a) NAS and (b) model compression, on CIFAR-10 and ImageNet
+//! (4× A6000, batch 256): speedup of LS, TR, TR+DPU, TR+IR, and
+//! TR+DPU+AHD over the DP baseline.
+
+use pipebd_bench::{bar, experiment, header, run_all};
+use pipebd_core::Strategy;
+use pipebd_models::Workload;
+use pipebd_sim::HardwareConfig;
+
+fn main() {
+    let hw = HardwareConfig::a6000_server(4);
+    header(
+        "Fig. 4 — Speedup and ablation of baselines and Pipe-BD",
+        &format!("{}, batch 256, speedups normalized to DP", hw.label()),
+    );
+
+    let panels = [
+        ("(a) NAS", vec![Workload::nas_cifar10(), Workload::nas_imagenet()]),
+        (
+            "(b) Model Compression",
+            vec![
+                Workload::compression_cifar10(),
+                Workload::compression_imagenet(),
+            ],
+        ),
+    ];
+
+    for (panel, workloads) in panels {
+        println!("\n{panel}");
+        for w in workloads {
+            let label = w.label();
+            let e = experiment(w, hw.clone(), 256);
+            let results = run_all(&e);
+            let dp = results
+                .iter()
+                .find(|(s, _)| *s == Strategy::DataParallel)
+                .map(|(_, r)| r.clone())
+                .expect("DP always lowers");
+            println!("  {label}");
+            let speedups: Vec<(Strategy, f64)> = results
+                .iter()
+                .map(|(s, r)| (*s, r.speedup_over(&dp)))
+                .collect();
+            let max = speedups.iter().map(|(_, x)| *x).fold(0.0f64, f64::max);
+            for (s, x) in &speedups {
+                println!("    {:11} {x:5.2}x |{}", s.label(), bar(*x, max, 40));
+            }
+        }
+    }
+
+    println!();
+    println!("Paper reference points (Table II, 4x A6000):");
+    println!("  NAS/CIFAR-10          Pipe-BD 3.08x over DP, LS 1.93x");
+    println!("  NAS/ImageNet          Pipe-BD 4.38x over DP, LS 0.50x (see EXPERIMENTS.md)");
+    println!("  Compression/CIFAR-10  Pipe-BD 7.32x over DP, LS 2.01x");
+    println!("  Compression/ImageNet  Pipe-BD 3.78x over DP, LS 0.40x (see EXPERIMENTS.md)");
+}

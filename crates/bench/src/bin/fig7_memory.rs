@@ -1,0 +1,89 @@
+//! Fig. 7 — per-rank peak memory of Pipe-BD on NAS.
+//!
+//! Maximum memory allocation per rank for DP, LS, TR/TR+DPU, and
+//! TR+DPU+AHD, on CIFAR-10 and ImageNet (4× A6000, batch 256), plus the
+//! average memory overhead of full Pipe-BD over DP (the paper reports
+//! +8.7% on CIFAR-10 and +21.3% on ImageNet).
+
+use pipebd_bench::{bar, experiment, header};
+use pipebd_core::Strategy;
+use pipebd_models::Workload;
+use pipebd_sim::HardwareConfig;
+
+const GIB: f64 = (1u64 << 30) as f64;
+const SHOWN: [Strategy; 4] = [
+    Strategy::DataParallel,
+    Strategy::LayerwiseScheduling,
+    Strategy::TrDpu,
+    Strategy::PipeBd,
+];
+
+fn main() {
+    let hw = HardwareConfig::a6000_server(4);
+    header(
+        "Fig. 7 — Memory overhead of Pipe-BD on NAS (per-rank peak)",
+        &format!("{}, batch 256; TR/TR+DPU shown as TR+DPU", hw.label()),
+    );
+
+    for (panel, workload) in [
+        ("(a) CIFAR-10", Workload::nas_cifar10()),
+        ("(b) ImageNet", Workload::nas_imagenet()),
+    ] {
+        println!("\n{panel}  (GiB per rank)");
+        let e = experiment(workload, hw.clone(), 256);
+        let mut rows = Vec::new();
+        for &s in &SHOWN {
+            if let Ok(r) = e.run(s) {
+                rows.push((s, r));
+            }
+        }
+        let max = rows
+            .iter()
+            .flat_map(|(_, r)| r.memory_per_rank.iter())
+            .copied()
+            .max()
+            .unwrap_or(1) as f64
+            / GIB;
+        print!("  {:11}", "strategy");
+        for rank in 0..hw.num_gpus {
+            print!(" {:>7}", format!("rank{rank}"));
+        }
+        println!(" {:>7}", "max");
+        for (s, r) in &rows {
+            print!("  {:11}", s.label());
+            for &m in &r.memory_per_rank {
+                print!(" {:>7.2}", m as f64 / GIB);
+            }
+            println!(
+                " {:>7.2}  |{}",
+                r.peak_memory() as f64 / GIB,
+                bar(r.peak_memory() as f64 / GIB, max, 24)
+            );
+        }
+        let dp = rows
+            .iter()
+            .find(|(s, _)| *s == Strategy::DataParallel)
+            .map(|(_, r)| r.clone())
+            .expect("DP present");
+        let pb = rows
+            .iter()
+            .find(|(s, _)| *s == Strategy::PipeBd)
+            .map(|(_, r)| r.clone())
+            .expect("Pipe-BD present");
+        let tr = rows
+            .iter()
+            .find(|(s, _)| *s == Strategy::TrDpu)
+            .map(|(_, r)| r.clone())
+            .expect("TR+DPU present");
+        println!(
+            "  Pipe-BD avg overhead over DP: {:+.1}%  (paper: {} )",
+            100.0 * pb.memory_overhead_over(&dp),
+            if panel.contains("CIFAR") { "+8.7%" } else { "+21.3%" },
+        );
+        println!(
+            "  AHD flattens rank 0: TR+DPU rank0 {:.2} GiB -> Pipe-BD rank0 {:.2} GiB",
+            tr.memory_per_rank[0] as f64 / GIB,
+            pb.memory_per_rank[0] as f64 / GIB
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The threaded functional executor: Algorithm 1 of the paper, with OS
+//! threads as devices and channels as the PCIe relays.
+//!
+//! This module exists to demonstrate the paper's Section VII-D claim
+//! mechanically: Pipe-BD reschedules *when* things execute but never
+//! changes *what* is computed, so every strategy reaches the same trained
+//! student. The [`reference`] module provides the golden sequential
+//! semantics; [`threaded`] runs the real multi-threaded pipeline; the
+//! parity tests compare final parameters.
+
+pub mod reference;
+pub mod threaded;
+
+use pipebd_sched::StagePlan;
+
+/// Functional training configuration.
+#[derive(Debug, Clone)]
+pub struct FuncConfig {
+    /// Number of device threads.
+    pub devices: usize,
+    /// Optimizer steps to run.
+    pub steps: usize,
+    /// Global batch size (must be divisible by any stage width used).
+    pub batch: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Stage plan for the threaded executor (defaults to contiguous).
+    pub plan: Option<StagePlan>,
+    /// Whether updates are decoupled (no inter-device barrier). Changes
+    /// scheduling only; parity tests verify results are unchanged.
+    pub decoupled_updates: bool,
+}
+
+impl Default for FuncConfig {
+    fn default() -> Self {
+        FuncConfig {
+            devices: 2,
+            steps: 4,
+            batch: 8,
+            lr: 0.05,
+            momentum: 0.9,
+            plan: None,
+            decoupled_updates: true,
+        }
+    }
+}
+
+/// The outcome of functional training.
+#[derive(Debug, Clone)]
+pub struct FuncOutcome {
+    /// Final student parameters, per block, in block order.
+    pub params: Vec<Vec<pipebd_tensor::Tensor>>,
+    /// Distillation loss per block per step.
+    pub losses: Vec<Vec<f32>>,
+}
+
+impl FuncOutcome {
+    /// Maximum absolute parameter difference against another outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcomes have different block/parameter structure.
+    pub fn max_param_diff(&self, other: &FuncOutcome) -> f32 {
+        assert_eq!(self.params.len(), other.params.len(), "block count differs");
+        let mut max = 0.0f32;
+        for (a, b) in self.params.iter().zip(other.params.iter()) {
+            assert_eq!(a.len(), b.len(), "param count differs");
+            for (ta, tb) in a.iter().zip(b.iter()) {
+                max = max.max(ta.max_abs_diff(tb).expect("same shapes"));
+            }
+        }
+        max
+    }
+
+    /// Final loss of each block (last recorded step).
+    pub fn final_losses(&self) -> Vec<f32> {
+        self.losses
+            .iter()
+            .map(|l| l.last().copied().unwrap_or(f32::NAN))
+            .collect()
+    }
+}

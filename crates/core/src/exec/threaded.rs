@@ -1,0 +1,603 @@
+//! Multi-threaded teacher relaying: the paper's Algorithm 1 with OS
+//! threads as devices and crossbeam channels as the PCIe links.
+//!
+//! Per step and per device (Algorithm 1, lines 7–16):
+//!
+//! 1. receive the input activation from the previous stage — or load a
+//!    batch, if this device owns block 0 (lines 8–9);
+//! 2. run the assigned teacher blocks and relay the boundary activation to
+//!    the next stage (lines 10–11);
+//! 3. run the assigned student blocks forward/backward (lines 12–13);
+//! 4. share gradients within a batch-split stage (line 14, AHD);
+//! 5. wait on the global barrier unless decoupled updates are enabled
+//!    (line 15, DPU);
+//! 6. update the student weights (line 16).
+//!
+//! Stage replicas are verified to remain bitwise identical after gradient
+//! averaging — divergence is reported as an error.
+
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pipebd_data::SyntheticImageDataset;
+use pipebd_nn::{mse_loss, Block, BlockNet, Layer, Mode, Sgd};
+use pipebd_sched::StagePlan;
+use pipebd_tensor::{Tensor, TensorError};
+
+use super::{FuncConfig, FuncOutcome};
+
+/// Error raised by the threaded executor.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Configuration cannot be executed (plan/batch mismatch, …).
+    Config(String),
+    /// A tensor operation failed inside a device thread.
+    Tensor(TensorError),
+    /// A device thread panicked.
+    WorkerPanic(String),
+    /// Stage replicas diverged (would indicate a gradient-sharing bug).
+    ReplicaDivergence {
+        /// Block whose replicas differ.
+        block: usize,
+        /// Maximum absolute difference observed.
+        diff: f32,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Config(m) => write!(f, "bad executor config: {m}"),
+            ExecError::Tensor(e) => write!(f, "tensor error in worker: {e}"),
+            ExecError::WorkerPanic(m) => write!(f, "device thread panicked: {m}"),
+            ExecError::ReplicaDivergence { block, diff } => {
+                write!(f, "replicas of block {block} diverged by {diff}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<TensorError> for ExecError {
+    fn from(e: TensorError) -> Self {
+        ExecError::Tensor(e)
+    }
+}
+
+/// A relayed activation: the sending member's index and its batch shard.
+type Shard = (usize, Tensor);
+/// Gradient-sharing payload: sender member index, flattened per-block
+/// gradients, and per-block shard losses.
+type GradMsg = (usize, Vec<Vec<Tensor>>, Vec<f32>);
+
+struct DeviceRole {
+    device: usize,
+    stage_index: usize,
+    member: usize,
+    width: usize,
+    /// Width of the previous stage (0 for stage 0).
+    prev_width: usize,
+    first_block: usize,
+    teacher_blocks: Vec<Block>,
+    student_blocks: Vec<Block>,
+    /// Receivers for the previous stage's shards (empty for stage 0).
+    input_rx: Option<Receiver<Shard>>,
+    /// Senders to every member of the next stage (empty for the last).
+    output_tx: Vec<Sender<Shard>>,
+    /// Gradient sharing within the stage (leader-based averaging).
+    grad_to_leader: Option<Sender<GradMsg>>,
+    grad_from_members: Option<Receiver<GradMsg>>,
+    grad_broadcast_tx: Vec<Sender<(Vec<Vec<Tensor>>, Vec<f32>)>>,
+    grad_broadcast_rx: Option<Receiver<(Vec<Vec<Tensor>>, Vec<f32>)>>,
+}
+
+/// Runs blockwise distillation on device threads following `cfg.plan`
+/// (contiguous by default).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] for invalid configurations, tensor failures,
+/// worker panics, or replica divergence.
+pub fn run(
+    teacher: &BlockNet,
+    student: &BlockNet,
+    data: &SyntheticImageDataset,
+    cfg: &FuncConfig,
+) -> Result<FuncOutcome, ExecError> {
+    let b = teacher.num_blocks();
+    if student.num_blocks() != b {
+        return Err(ExecError::Config(format!(
+            "teacher has {b} blocks, student {}",
+            student.num_blocks()
+        )));
+    }
+    let plan = match &cfg.plan {
+        Some(p) => p.clone(),
+        None => StagePlan::contiguous(b, cfg.devices)
+            .map_err(|e| ExecError::Config(e.to_string()))?,
+    };
+    plan.validate()
+        .map_err(|e| ExecError::Config(e.to_string()))?;
+    if plan.num_blocks != b || plan.num_devices != cfg.devices {
+        return Err(ExecError::Config(format!(
+            "plan is for {}x{} but workload is {b} blocks x {} devices",
+            plan.num_blocks, plan.num_devices, cfg.devices
+        )));
+    }
+    for s in &plan.stages {
+        if cfg.batch % s.width() != 0 {
+            return Err(ExecError::Config(format!(
+                "batch {} not divisible by stage width {}",
+                cfg.batch,
+                s.width()
+            )));
+        }
+    }
+
+    // Build channel fabric stage by stage.
+    let num_stages = plan.stages.len();
+    let mut roles: Vec<DeviceRole> = Vec::with_capacity(cfg.devices);
+    // input receivers for each stage's members, created when visiting the
+    // *previous* stage is not possible (we need them when wiring senders),
+    // so pre-create all receivers first.
+    let mut stage_rx: Vec<Vec<(Sender<Shard>, Receiver<Shard>)>> = Vec::new();
+    for s in &plan.stages {
+        stage_rx.push((0..s.width()).map(|_| unbounded()).collect());
+    }
+
+    for (si, stage) in plan.stages.iter().enumerate() {
+        // Gradient-sharing fabric for this stage (width > 1).
+        let width = stage.width();
+        let (leader_tx, leader_rx) = unbounded::<GradMsg>();
+        let broadcast: Vec<(Sender<(Vec<Vec<Tensor>>, Vec<f32>)>, Receiver<_>)> =
+            (0..width).map(|_| unbounded()).collect();
+
+        for (member, &device) in stage.devices.iter().enumerate() {
+            let teacher_blocks: Vec<Block> =
+                stage.blocks().map(|i| teacher.block(i).clone()).collect();
+            let student_blocks: Vec<Block> =
+                stage.blocks().map(|i| student.block(i).clone()).collect();
+            let output_tx = if si + 1 < num_stages {
+                stage_rx[si + 1].iter().map(|(tx, _)| tx.clone()).collect()
+            } else {
+                Vec::new()
+            };
+            roles.push(DeviceRole {
+                device,
+                stage_index: si,
+                member,
+                width,
+                prev_width: if si == 0 {
+                    0
+                } else {
+                    plan.stages[si - 1].width()
+                },
+                first_block: stage.first_block,
+                teacher_blocks,
+                student_blocks,
+                input_rx: if si == 0 {
+                    None
+                } else {
+                    Some(stage_rx[si][member].1.clone())
+                },
+                output_tx,
+                grad_to_leader: (width > 1).then(|| leader_tx.clone()),
+                grad_from_members: (width > 1 && member == 0).then(|| leader_rx.clone()),
+                grad_broadcast_tx: if width > 1 && member == 0 {
+                    broadcast.iter().map(|(tx, _)| tx.clone()).collect()
+                } else {
+                    Vec::new()
+                },
+                grad_broadcast_rx: (width > 1).then(|| broadcast[member].1.clone()),
+            });
+        }
+    }
+
+    let barrier = Arc::new(Barrier::new(cfg.devices));
+    let data = Arc::new(data.clone());
+    let cfg_arc = Arc::new(cfg.clone());
+
+    let mut handles = Vec::with_capacity(roles.len());
+    for role in roles {
+        let barrier = Arc::clone(&barrier);
+        let data = Arc::clone(&data);
+        let cfg = Arc::clone(&cfg_arc);
+        handles.push(std::thread::spawn(move || worker(role, barrier, data, cfg)));
+    }
+
+    // Collect per-device results: (first_block, member, params, losses).
+    let mut by_block: Vec<Option<Vec<Tensor>>> = vec![None; b];
+    let mut losses_by_block: Vec<Option<Vec<f32>>> = vec![None; b];
+    let mut replicas: Vec<Vec<(usize, Vec<Tensor>)>> = vec![Vec::new(); b];
+    for h in handles {
+        let out = h
+            .join()
+            .map_err(|p| ExecError::WorkerPanic(format!("{p:?}")))??;
+        for (block, member, params, losses) in out {
+            replicas[block].push((member, params.clone()));
+            if member == 0 {
+                by_block[block] = Some(params);
+                losses_by_block[block] = Some(losses);
+            }
+        }
+    }
+
+    // Replica parity: every member of a widened stage must hold identical
+    // parameters after averaged updates.
+    for (block, reps) in replicas.iter().enumerate() {
+        let Some((_, reference)) = reps.iter().find(|(m, _)| *m == 0) else {
+            continue;
+        };
+        for (member, params) in reps {
+            if *member == 0 {
+                continue;
+            }
+            for (a, c) in reference.iter().zip(params.iter()) {
+                let diff = a.max_abs_diff(c)?;
+                if diff > 1e-6 {
+                    return Err(ExecError::ReplicaDivergence { block, diff });
+                }
+            }
+        }
+    }
+
+    let params: Vec<Vec<Tensor>> = by_block
+        .into_iter()
+        .map(|p| p.expect("every block owned by exactly one stage"))
+        .collect();
+    let losses = losses_by_block
+        .into_iter()
+        .map(|l| l.expect("every block has losses"))
+        .collect();
+    Ok(FuncOutcome { params, losses })
+}
+
+type WorkerOut = Vec<(usize, usize, Vec<Tensor>, Vec<f32>)>;
+
+fn worker(
+    mut role: DeviceRole,
+    barrier: Arc<Barrier>,
+    data: Arc<SyntheticImageDataset>,
+    cfg: Arc<FuncConfig>,
+) -> Result<WorkerOut, ExecError> {
+    let num_blocks = role.teacher_blocks.len();
+    let mut optims: Vec<Sgd> = (0..num_blocks)
+        .map(|_| Sgd::new(cfg.lr, cfg.momentum, 0.0))
+        .collect();
+    let mut losses: Vec<Vec<f32>> = vec![Vec::with_capacity(cfg.steps); num_blocks];
+    // Out-of-order relay buffering: with decoupled updates a fast upstream
+    // member may deliver step s+1 before a slow one delivers step s. Each
+    // sender's channel order is its step order, so one FIFO per upstream
+    // member restores alignment.
+    let mut shard_queues: Vec<std::collections::VecDeque<Tensor>> =
+        vec![std::collections::VecDeque::new(); role.prev_width];
+
+    for step in 0..cfg.steps {
+        // (1) Input: load data (stage 0) or receive the relayed activation.
+        let input = if role.stage_index == 0 {
+            let (x, _labels) = data.batch(step as u64 * cfg.batch as u64, cfg.batch);
+            let shards = x.split_batch(role.width)?;
+            shards[role.member].clone()
+        } else {
+            let rx = role.input_rx.as_ref().expect("non-first stage receives");
+            let prev_shards = receive_full_batch(rx, &mut shard_queues)?;
+            // Reassemble the full batch in member order, then take our
+            // shard.
+            let full = Tensor::cat_batch(&prev_shards)?;
+            let shards = full.split_batch(role.width)?;
+            shards[role.member].clone()
+        };
+
+        // (2) Teacher blocks, collecting every boundary (lines 10–11).
+        let mut boundaries = Vec::with_capacity(num_blocks);
+        let mut cur = input.clone();
+        for t in &mut role.teacher_blocks {
+            cur = t.forward(&cur, Mode::Eval)?;
+            boundaries.push(cur.clone());
+        }
+        // Relay the final boundary to every member of the next stage.
+        for tx in &role.output_tx {
+            tx.send((role.member, cur.clone()))
+                .map_err(|_| ExecError::Config("next stage hung up".into()))?;
+        }
+
+        // (3) Students forward/backward (lines 12–13).
+        let mut step_losses = Vec::with_capacity(num_blocks);
+        for (i, s) in role.student_blocks.iter_mut().enumerate() {
+            let s_in = if i == 0 { &input } else { &boundaries[i - 1] };
+            let s_out = s.forward(s_in, Mode::Train)?;
+            let loss = mse_loss(&s_out, &boundaries[i])?;
+            s.backward(&loss.grad)?;
+            step_losses.push(loss.loss);
+        }
+
+        // (4) Gradient sharing within a widened stage (line 14).
+        if role.width > 1 {
+            share_gradients(&mut role, &mut step_losses)?;
+        }
+
+        // (5) Barrier unless decoupled (line 15).
+        if !cfg.decoupled_updates {
+            barrier.wait();
+        }
+
+        // (6) Updates (line 16).
+        for (i, s) in role.student_blocks.iter_mut().enumerate() {
+            optims[i].step(s)?;
+            pipebd_nn::zero_grad(s);
+            losses[i].push(step_losses[i]);
+        }
+    }
+
+    // With decoupled updates some threads may finish earlier; that is the
+    // point. Return parameters per owned block.
+    let out = role
+        .student_blocks
+        .iter_mut()
+        .enumerate()
+        .map(|(i, s)| {
+            (
+                role.first_block + i,
+                role.member,
+                pipebd_nn::snapshot_params(s),
+                losses[i].clone(),
+            )
+        })
+        .collect();
+    let _ = role.device;
+    Ok(out)
+}
+
+/// Receives until every upstream member has a queued shard for the current
+/// step, then pops one shard per member, ordered by member index.
+fn receive_full_batch(
+    rx: &Receiver<Shard>,
+    queues: &mut [std::collections::VecDeque<Tensor>],
+) -> Result<Vec<Tensor>, ExecError> {
+    while queues.iter().any(std::collections::VecDeque::is_empty) {
+        let (member, shard) = rx
+            .recv()
+            .map_err(|_| ExecError::Config("previous stage hung up".into()))?;
+        queues
+            .get_mut(member)
+            .ok_or_else(|| ExecError::Config(format!("unknown upstream member {member}")))?
+            .push_back(shard);
+    }
+    Ok(queues
+        .iter_mut()
+        .map(|q| q.pop_front().expect("queue nonempty"))
+        .collect())
+}
+
+fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(), ExecError> {
+    // Collect local gradients.
+    let mut local: Vec<Vec<Tensor>> = Vec::with_capacity(role.student_blocks.len());
+    for s in &mut role.student_blocks {
+        let mut grads = Vec::new();
+        s.visit_params(&mut |p| grads.push(p.grad.clone()));
+        local.push(grads);
+    }
+
+    let (avg, avg_losses) = if role.member == 0 {
+        // Leader: gather, average in member order, broadcast.
+        let rx = role
+            .grad_from_members
+            .as_ref()
+            .expect("leader has a gather channel");
+        let mut contributions: Vec<Option<(Vec<Vec<Tensor>>, Vec<f32>)>> =
+            vec![None; role.width];
+        contributions[0] = Some((local, step_losses.to_vec()));
+        for _ in 1..role.width {
+            let (member, grads, l) = rx
+                .recv()
+                .map_err(|_| ExecError::Config("gradient gather hung up".into()))?;
+            contributions[member] = Some((grads, l));
+        }
+        let mut iter = contributions.into_iter().map(|c| c.expect("all members"));
+        let (mut acc, mut loss_acc) = iter.next().expect("width >= 1");
+        for (grads, l) in iter {
+            for (a, g) in acc.iter_mut().zip(grads.iter()) {
+                for (ta, tg) in a.iter_mut().zip(g.iter()) {
+                    ta.add_assign(tg)?;
+                }
+            }
+            for (la, lb) in loss_acc.iter_mut().zip(l.iter()) {
+                *la += lb;
+            }
+        }
+        let inv = 1.0 / role.width as f32;
+        for block in &mut acc {
+            for g in block {
+                g.scale(inv);
+            }
+        }
+        for l in &mut loss_acc {
+            *l *= inv;
+        }
+        for tx in &role.grad_broadcast_tx {
+            tx.send((acc.clone(), loss_acc.clone()))
+                .map_err(|_| ExecError::Config("gradient broadcast hung up".into()))?;
+        }
+        let rx = role
+            .grad_broadcast_rx
+            .as_ref()
+            .expect("leader also receives its broadcast");
+        rx.recv()
+            .map_err(|_| ExecError::Config("broadcast loopback hung up".into()))?
+    } else {
+        let tx = role
+            .grad_to_leader
+            .as_ref()
+            .expect("members have a gather channel");
+        tx.send((role.member, local, step_losses.to_vec()))
+            .map_err(|_| ExecError::Config("gradient gather hung up".into()))?;
+        let rx = role
+            .grad_broadcast_rx
+            .as_ref()
+            .expect("members receive the broadcast");
+        rx.recv()
+            .map_err(|_| ExecError::Config("gradient broadcast hung up".into()))?
+    };
+
+    // Overwrite local gradients with the averaged ones.
+    for (s, grads) in role.student_blocks.iter_mut().zip(avg.iter()) {
+        let mut idx = 0usize;
+        s.visit_params(&mut |p| {
+            p.grad = grads[idx].clone();
+            idx += 1;
+        });
+    }
+    step_losses.copy_from_slice(&avg_losses);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::reference;
+    use pipebd_models::{mini_student_dsconv, mini_teacher, MiniConfig};
+    use pipebd_tensor::Rng64;
+
+    fn setup(blocks: usize) -> (BlockNet, BlockNet, SyntheticImageDataset) {
+        let cfg = MiniConfig {
+            blocks,
+            channels: 6,
+            batch_norm: false,
+        };
+        let mut rng = Rng64::seed_from_u64(42);
+        let teacher = mini_teacher(cfg, &mut rng);
+        let student = mini_student_dsconv(cfg, &mut rng);
+        let data = SyntheticImageDataset::mini(64, 8, 4, 9);
+        (teacher, student, data)
+    }
+
+    #[test]
+    fn tr_matches_reference_exactly() {
+        let (teacher, student, data) = setup(4);
+        let cfg = FuncConfig {
+            devices: 2,
+            steps: 6,
+            batch: 8,
+            decoupled_updates: false,
+            ..FuncConfig::default()
+        };
+        let golden = reference::run(&teacher, &student, &data, &cfg).unwrap();
+        let threaded = run(&teacher, &student, &data, &cfg).unwrap();
+        assert_eq!(
+            threaded.max_param_diff(&golden),
+            0.0,
+            "teacher relaying must be bitwise identical to the definition"
+        );
+    }
+
+    #[test]
+    fn dpu_matches_barrier_exactly() {
+        // The paper's key correctness argument: removing the barrier
+        // cannot change any computed value.
+        let (teacher, student, data) = setup(4);
+        let barrier_cfg = FuncConfig {
+            devices: 4,
+            steps: 6,
+            batch: 8,
+            decoupled_updates: false,
+            ..FuncConfig::default()
+        };
+        let dpu_cfg = FuncConfig {
+            decoupled_updates: true,
+            ..barrier_cfg.clone()
+        };
+        let with_barrier = run(&teacher, &student, &data, &barrier_cfg).unwrap();
+        let without = run(&teacher, &student, &data, &dpu_cfg).unwrap();
+        assert_eq!(without.max_param_diff(&with_barrier), 0.0);
+    }
+
+    #[test]
+    fn hybrid_plan_close_to_reference() {
+        // Batch splitting changes float summation order (shard-mean
+        // averaging), so parity is near-exact rather than bitwise.
+        let (teacher, student, data) = setup(4);
+        let plan = StagePlan::from_widths(&[(1, 2), (3, 2)], 4, 4).unwrap();
+        let cfg = FuncConfig {
+            devices: 4,
+            steps: 6,
+            batch: 8,
+            plan: Some(plan),
+            decoupled_updates: true,
+            ..FuncConfig::default()
+        };
+        let golden = reference::run(&teacher, &student, &data, &cfg).unwrap();
+        let hybrid = run(&teacher, &student, &data, &cfg).unwrap();
+        let diff = hybrid.max_param_diff(&golden);
+        assert!(diff < 1e-4, "hybrid diverged from reference by {diff}");
+    }
+
+    #[test]
+    fn internal_relaying_plan_close_to_reference() {
+        let (teacher, student, data) = setup(3);
+        let plan = StagePlan::internal_relaying(3, 4);
+        let cfg = FuncConfig {
+            devices: 4,
+            steps: 5,
+            batch: 8,
+            plan: Some(plan),
+            decoupled_updates: true,
+            ..FuncConfig::default()
+        };
+        let golden = reference::run(&teacher, &student, &data, &cfg).unwrap();
+        let ir = run(&teacher, &student, &data, &cfg).unwrap();
+        let diff = ir.max_param_diff(&golden);
+        assert!(diff < 1e-4, "IR diverged from reference by {diff}");
+    }
+
+    #[test]
+    fn rejects_indivisible_batch() {
+        let (teacher, student, data) = setup(3);
+        let plan = StagePlan::internal_relaying(3, 4);
+        let cfg = FuncConfig {
+            devices: 4,
+            steps: 1,
+            batch: 6, // not divisible by width 4
+            plan: Some(plan),
+            ..FuncConfig::default()
+        };
+        assert!(matches!(
+            run(&teacher, &student, &data, &cfg),
+            Err(ExecError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_plan() {
+        let (teacher, student, data) = setup(3);
+        let plan = StagePlan::contiguous(6, 4).unwrap();
+        let cfg = FuncConfig {
+            devices: 4,
+            plan: Some(plan),
+            ..FuncConfig::default()
+        };
+        assert!(matches!(
+            run(&teacher, &student, &data, &cfg),
+            Err(ExecError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn losses_decrease_under_threaded_training() {
+        let (teacher, student, data) = setup(4);
+        let cfg = FuncConfig {
+            devices: 4,
+            steps: 30,
+            batch: 8,
+            decoupled_updates: true,
+            ..FuncConfig::default()
+        };
+        let out = run(&teacher, &student, &data, &cfg).unwrap();
+        for (i, l) in out.losses.iter().enumerate() {
+            assert!(
+                l.last().unwrap() < l.first().unwrap(),
+                "block {i} loss did not decrease"
+            );
+        }
+    }
+}

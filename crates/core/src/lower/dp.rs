@@ -1,0 +1,142 @@
+//! The data-parallel baseline (the paper's Fig. 3a, DNA's scheme).
+//!
+//! For every block `i` (a *phase*), all devices train student `i` in data
+//! parallel for the full epoch: each device loads its batch shard, runs the
+//! teacher prefix `0..=i` (the redundant execution the paper attacks),
+//! runs student `i`, all-reduces gradients, and updates. Phases run
+//! back-to-back.
+
+use pipebd_sim::{Resource, TaskGraph, TaskId, TaskKind};
+
+use super::{Lowered, Lowering, PREFETCH_DEPTH};
+
+/// Emits the DP schedule: `rounds` rounds for each of the `B` phases.
+pub fn lower(l: &Lowering<'_>) -> Lowered {
+    let n = l.hw.num_gpus;
+    let b = l.workload.num_blocks();
+    let shard = l.batch.div_ceil(n);
+    let mut g = TaskGraph::new(n);
+
+    // Per-device ring buffer of consume tasks for loader throttling.
+    let mut recent_consumes: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+
+    for phase in 0..b {
+        for round in 0..l.rounds {
+            let step = phase as u32 * l.rounds + round;
+            let mut students = Vec::with_capacity(n);
+            let mut teacher_deps = Vec::with_capacity(n);
+            for d in 0..n {
+                let throttle = recent_consumes[d]
+                    .len()
+                    .checked_sub(PREFETCH_DEPTH)
+                    .map(|idx| recent_consumes[d][idx]);
+                let (_, consume) = l.emit_load(&mut g, d, shard, step, throttle);
+                recent_consumes[d].push(consume);
+                teacher_deps.push(consume);
+            }
+            for d in 0..n {
+                // The whole teacher prefix 0..=phase, fused into one task
+                // (its duration is the sum of the per-block times).
+                let prefix: pipebd_sim::SimTime =
+                    (0..=phase).map(|k| l.teacher(k, shard)).sum();
+                let teach = g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::Teacher,
+                    prefix,
+                    vec![teacher_deps[d]],
+                    Some(phase as u16),
+                    step,
+                );
+                let stu = g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::Student,
+                    l.student(phase, shard),
+                    vec![teach],
+                    Some(phase as u16),
+                    step,
+                );
+                students.push(stu);
+            }
+            // Gradient all-reduce is a collective: every device's share
+            // depends on every device's backward.
+            let grad_bytes = 4 * l.workload.model.blocks[phase].student_params;
+            let share_time = l.hw.pcie.allreduce_time(grad_bytes, n);
+            for d in 0..n {
+                let share = g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::GradShare,
+                    share_time,
+                    students.clone(),
+                    Some(phase as u16),
+                    step,
+                );
+                g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::Update,
+                    l.update(phase),
+                    vec![share],
+                    Some(phase as u16),
+                    step,
+                );
+            }
+        }
+    }
+
+    Lowered {
+        graph: g,
+        plan: None,
+        ls: None,
+        rounds: l.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipebd_models::Workload;
+    use pipebd_sim::{simulate, Breakdown, HardwareConfig};
+
+    #[test]
+    fn phases_scale_with_block_count() {
+        let hw = HardwareConfig::a6000_server(4);
+        let w4 = Workload::synthetic(4, false);
+        let w8 = Workload::synthetic(8, false);
+        let m4 = simulate(&lower(&Lowering::new(&w4, &hw, 256, 4)).graph).makespan;
+        let m8 = simulate(&lower(&Lowering::new(&w8, &hw, 256, 4)).graph).makespan;
+        // 8 blocks = 8 phases with longer prefixes: superlinear growth.
+        assert!(m8.as_secs_f64() > 2.0 * m4.as_secs_f64());
+    }
+
+    #[test]
+    fn all_ranks_equally_busy() {
+        let hw = HardwareConfig::a6000_server(4);
+        let w = Workload::synthetic(6, false);
+        let lowered = lower(&Lowering::new(&w, &hw, 256, 4));
+        let run = simulate(&lowered.graph);
+        let bd = Breakdown::from_run(&lowered.graph, &run);
+        let t0 = bd.ranks[0].teacher;
+        for r in &bd.ranks[1..] {
+            assert_eq!(r.teacher, t0, "DP ranks are symmetric");
+        }
+    }
+
+    #[test]
+    fn redundant_prefix_visible_in_teacher_time() {
+        // Teacher time summed over phases must exceed a single full pass
+        // by roughly B/2 (the redundancy factor).
+        let hw = HardwareConfig::a6000_server(4);
+        let w = Workload::synthetic(6, false);
+        let l = Lowering::new(&w, &hw, 256, 1);
+        let lowered = lower(&l);
+        let run = simulate(&lowered.graph);
+        let bd = Breakdown::from_run(&lowered.graph, &run);
+        let one_pass: f64 = (0..6)
+            .map(|k| l.teacher(k, 64).as_secs_f64())
+            .sum();
+        let simulated = bd.ranks[0].teacher.as_secs_f64();
+        assert!(
+            simulated > 3.0 * one_pass,
+            "prefix redundancy missing: {simulated} vs {one_pass}"
+        );
+    }
+}

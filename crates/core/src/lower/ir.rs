@@ -1,0 +1,150 @@
+//! Internal relaying (the paper's TR+IR alternative, Section VII-A).
+//!
+//! Every device trains *all* blocks each step on a batch shard: the
+//! teacher runs once per device with activations kept in memory (no relay,
+//! no redundancy, no imbalance), but every block executes at the small
+//! per-device batch — the utilization loss that makes IR lose to full
+//! Pipe-BD. It is exactly the plan where every block is batch-split, which
+//! the paper notes is a special case of TR+DPU+AHD.
+
+use pipebd_sched::StagePlan;
+use pipebd_sim::{Resource, TaskGraph, TaskId, TaskKind};
+
+use super::{Lowered, Lowering, PREFETCH_DEPTH};
+
+/// Emits the internal-relaying schedule.
+pub fn lower(l: &Lowering<'_>) -> Lowered {
+    let n = l.hw.num_gpus;
+    let b = l.workload.num_blocks();
+    let shard = l.batch.div_ceil(n);
+    let mut g = TaskGraph::new(n);
+    let mut recent_consumes: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+
+    for round in 0..l.rounds {
+        let mut last_students = Vec::with_capacity(n);
+        for d in 0..n {
+            let throttle = recent_consumes[d]
+                .len()
+                .checked_sub(PREFETCH_DEPTH)
+                .map(|idx| recent_consumes[d][idx]);
+            let (_, consume) = l.emit_load(&mut g, d, shard, round, throttle);
+            recent_consumes[d].push(consume);
+
+            // One full teacher pass, activations stored internally.
+            let mut prev = consume;
+            for block in 0..b {
+                prev = g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::Teacher,
+                    l.teacher(block, shard),
+                    vec![prev],
+                    Some(block as u16),
+                    round,
+                );
+            }
+            // All students, reading the stored activations.
+            for block in 0..b {
+                prev = g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::Student,
+                    l.student(block, shard),
+                    vec![prev],
+                    Some(block as u16),
+                    round,
+                );
+            }
+            last_students.push(prev);
+        }
+        // Fused all-reduce over every student's gradients, then updates.
+        let grad_bytes: u64 = l
+            .workload
+            .model
+            .blocks
+            .iter()
+            .map(|blk| 4 * blk.student_params)
+            .sum();
+        let share_time = l.hw.pcie.allreduce_time(grad_bytes, n);
+        for d in 0..n {
+            let share = g.add_tagged(
+                Resource::Gpu(d),
+                TaskKind::GradShare,
+                share_time,
+                last_students.clone(),
+                None,
+                round,
+            );
+            let mut prev = share;
+            for block in 0..b {
+                prev = g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::Update,
+                    l.update(block),
+                    vec![prev],
+                    Some(block as u16),
+                    round,
+                );
+            }
+        }
+    }
+
+    Lowered {
+        graph: g,
+        plan: Some(StagePlan::internal_relaying(b, n)),
+        ls: None,
+        rounds: l.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipebd_models::Workload;
+    use pipebd_sim::{simulate, Breakdown, HardwareConfig, SimTime};
+
+    #[test]
+    fn ranks_are_symmetric() {
+        let w = Workload::synthetic(6, false);
+        let hw = HardwareConfig::a6000_server(4);
+        let lowered = lower(&Lowering::new(&w, &hw, 256, 4));
+        let run = simulate(&lowered.graph);
+        let bd = Breakdown::from_run(&lowered.graph, &run);
+        for r in &bd.ranks[1..] {
+            assert_eq!(r.teacher, bd.ranks[0].teacher);
+            assert_eq!(r.student, bd.ranks[0].student);
+        }
+    }
+
+    #[test]
+    fn no_teacher_redundancy_but_small_batch() {
+        let w = Workload::nas_cifar10();
+        let hw = HardwareConfig::a6000_server(4);
+        let l = Lowering::new(&w, &hw, 256, 1);
+        let lowered = lower(&l);
+        let run = simulate(&lowered.graph);
+        let bd = Breakdown::from_run(&lowered.graph, &run);
+        // Each rank runs the full teacher once at shard size.
+        let per_rank: f64 = (0..6).map(|k| l.teacher(k, 64).as_secs_f64()).sum();
+        assert!((bd.ranks[0].teacher.as_secs_f64() - per_rank).abs() < 1e-9);
+        // Four ranks at batch 64 do more total teacher-time than one full
+        // batch-256 pass (occupancy loss) — the paper's IR caveat.
+        let full: f64 = (0..6).map(|k| l.teacher(k, 256).as_secs_f64()).sum();
+        let total = 4.0 * per_rank;
+        assert!(total > full, "IR must pay the small-batch penalty");
+    }
+
+    #[test]
+    fn ir_loses_to_pipe_bd_on_balanced_workloads() {
+        let w = Workload::nas_cifar10();
+        let hw = HardwareConfig::a6000_server(4);
+        let l = Lowering::new(&w, &hw, 256, 8);
+        let ir = simulate(&lower(&l).graph).makespan;
+        let pb = simulate(
+            &crate::lower::lower(&l, crate::strategy::Strategy::PipeBd)
+                .unwrap()
+                .graph,
+        )
+        .makespan;
+        assert!(pb < ir, "Pipe-BD {pb} must beat IR {ir}");
+        assert!(ir > SimTime::ZERO);
+    }
+}

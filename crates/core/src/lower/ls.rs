@@ -1,0 +1,141 @@
+//! The layerwise-scheduling baseline (Blakeney et al., IEEE TPDS 2021).
+//!
+//! Block-training tasks are bin-packed onto devices; each device trains its
+//! blocks independently at the full batch size, re-running the teacher
+//! prefix for every task (the redundancy stays), with no inter-device
+//! communication. Imbalance appears when few, very unequal blocks must be
+//! packed — the paper's explanation for LS losing to DP on ImageNet.
+
+use pipebd_sched::{ls, Profiler};
+use pipebd_sim::{Resource, SimTime, TaskGraph, TaskId, TaskKind};
+
+use super::{Lowered, Lowering, PREFETCH_DEPTH};
+
+/// Emits the LS schedule: `rounds` rounds, each device running its packed
+/// block tasks sequentially.
+pub fn lower(l: &Lowering<'_>) -> Lowered {
+    let n = l.hw.num_gpus;
+    // Pack using the same profile the AHD search would see.
+    let table = Profiler::new(l.cost.clone()).profile(&l.workload.model, l.batch, n);
+    let assignment = ls::pack(l.workload, &table, n, l.batch);
+
+    let mut g = TaskGraph::new(n);
+    let mut recent_consumes: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+
+    for round in 0..l.rounds {
+        for d in 0..n {
+            if assignment.device_blocks[d].is_empty() {
+                continue;
+            }
+            let throttle = recent_consumes[d]
+                .len()
+                .checked_sub(PREFETCH_DEPTH)
+                .map(|idx| recent_consumes[d][idx]);
+            let (_, consume) = l.emit_load(&mut g, d, l.batch, round, throttle);
+            recent_consumes[d].push(consume);
+            let mut prev = consume;
+            for &block in &assignment.device_blocks[d] {
+                // Independent task: teacher prefix up to `block` re-runs.
+                let prefix: SimTime = (0..=block).map(|k| l.teacher(k, l.batch)).sum();
+                let teach = g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::Teacher,
+                    prefix,
+                    vec![prev],
+                    Some(block as u16),
+                    round,
+                );
+                let stu = g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::Student,
+                    l.student(block, l.batch),
+                    vec![teach],
+                    Some(block as u16),
+                    round,
+                );
+                let upd = g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::Update,
+                    l.update(block),
+                    vec![stu],
+                    Some(block as u16),
+                    round,
+                );
+                prev = upd;
+            }
+        }
+    }
+
+    Lowered {
+        graph: g,
+        plan: None,
+        ls: Some(assignment),
+        rounds: l.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use pipebd_models::Workload;
+    use pipebd_sim::{simulate, Breakdown, HardwareConfig};
+
+    #[test]
+    fn ls_beats_dp_on_cifar_and_its_edge_shrinks_on_compression_imagenet() {
+        // The paper (Fig. 4 / Table II) has LS beating DP on CIFAR-10 and
+        // *losing* on ImageNet. Our LS baseline is stronger than the
+        // paper's (profiled-cost LPT packing + shared per-device loading),
+        // so the crossover does not fully reproduce — see EXPERIMENTS.md —
+        // but the direction must hold: LS's advantage over DP is large on
+        // CIFAR and shrinks substantially on ImageNet for the compression
+        // workload. Both graphs at equal `rounds` are epoch-comparable.
+        let hw = HardwareConfig::a6000_server(4);
+        let speedup = |w: &Workload| {
+            let l = Lowering::new(w, &hw, 256, 6);
+            let ls_time = simulate(&lower(&l).graph).makespan;
+            let dp_time = simulate(
+                &crate::lower::lower(&l, Strategy::DataParallel)
+                    .unwrap()
+                    .graph,
+            )
+            .makespan;
+            dp_time.as_secs_f64() / ls_time.as_secs_f64()
+        };
+        let cifar = speedup(&Workload::compression_cifar10());
+        let imagenet = speedup(&Workload::compression_imagenet());
+        assert!(cifar > 1.5, "LS must clearly beat DP on CIFAR: {cifar:.2}x");
+        assert!(
+            imagenet < 0.7 * cifar,
+            "LS's edge must shrink on ImageNet: {imagenet:.2}x vs {cifar:.2}x"
+        );
+    }
+
+    #[test]
+    fn no_cross_device_dependencies() {
+        // LS devices are fully independent: each rank's idle stays 0 until
+        // the others finish (idle only from makespan padding).
+        let hw = HardwareConfig::a6000_server(4);
+        let w = Workload::compression_cifar10();
+        let lowered = lower(&Lowering::new(&w, &hw, 256, 2));
+        let run = simulate(&lowered.graph);
+        let bd = Breakdown::from_run(&lowered.graph, &run);
+        // At least one rank is idle-padded (imbalance), but no rank waits
+        // on Comm (no relays exist).
+        for (_, t) in lowered.graph.iter() {
+            assert_ne!(t.kind, TaskKind::Comm);
+            assert_ne!(t.kind, TaskKind::GradShare);
+        }
+        assert!(bd.ranks.iter().any(|r| r.idle > SimTime::ZERO));
+    }
+
+    #[test]
+    fn assignment_recorded_in_lowered() {
+        let hw = HardwareConfig::a6000_server(4);
+        let w = Workload::compression_cifar10();
+        let lowered = lower(&Lowering::new(&w, &hw, 256, 1));
+        let ls = lowered.ls.expect("LS assignment present");
+        let total: usize = ls.device_blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 13);
+    }
+}

@@ -1,0 +1,187 @@
+//! Lowering of each [`Strategy`] into a simulator task graph.
+//!
+//! Each submodule emits the event schedule of one of the paper's Fig. 3
+//! diagrams: [`dp`] (Fig. 3a), [`relay`] (Fig. 3b–d, parameterized by the
+//! stage plan and the DPU flag), [`ir`] (internal relaying), and [`ls`]
+//! (the layerwise baseline).
+
+pub mod dp;
+pub mod epochs;
+pub mod ir;
+pub mod ls;
+pub mod relay;
+
+use pipebd_models::Workload;
+use pipebd_sched::{CostModel, LsAssignment, StagePlan};
+use pipebd_sim::{HardwareConfig, Resource, SimTime, TaskGraph, TaskId, TaskKind};
+
+use crate::strategy::Strategy;
+
+/// How many batches the loader pipeline may run ahead of the consumer
+/// (PyTorch-style bounded prefetching).
+pub const PREFETCH_DEPTH: usize = 4;
+
+/// Shared lowering context.
+#[derive(Debug, Clone)]
+pub struct Lowering<'a> {
+    /// The workload being trained.
+    pub workload: &'a Workload,
+    /// The simulated server.
+    pub hw: &'a HardwareConfig,
+    /// Block-level timing model (must match the profiler's).
+    pub cost: CostModel,
+    /// Global batch size.
+    pub batch: usize,
+    /// Number of forward/backward rounds to emit (for DP: per phase).
+    pub rounds: u32,
+}
+
+impl<'a> Lowering<'a> {
+    /// Creates a lowering context.
+    pub fn new(workload: &'a Workload, hw: &'a HardwareConfig, batch: usize, rounds: u32) -> Self {
+        Lowering {
+            workload,
+            hw,
+            cost: CostModel::new(hw.gpu.clone()),
+            batch,
+            rounds,
+        }
+    }
+
+    /// Emits the decode (loader pool) and consume (device-side collate +
+    /// H2D copy) tasks for one batch of `samples` on device `device`.
+    ///
+    /// `throttle` is the consume task `PREFETCH_DEPTH` batches ago on the
+    /// same consumer, bounding how far the loader runs ahead.
+    pub(crate) fn emit_load(
+        &self,
+        g: &mut TaskGraph,
+        device: usize,
+        samples: usize,
+        step: u32,
+        throttle: Option<TaskId>,
+    ) -> (TaskId, TaskId) {
+        let decode = g.add_tagged(
+            Resource::Loader,
+            TaskKind::Load,
+            self.hw
+                .host
+                .decode_time(samples, self.workload.dataset.decode_us_per_sample),
+            throttle.into_iter().collect(),
+            None,
+            step,
+        );
+        let bytes = samples as u64 * self.workload.dataset.sample_bytes();
+        let consume = g.add_tagged(
+            Resource::Gpu(device),
+            TaskKind::Load,
+            self.hw.host.consume_time(samples, bytes, &self.hw.pcie),
+            vec![decode],
+            None,
+            step,
+        );
+        (decode, consume)
+    }
+
+    /// Teacher execution duration for one block at a per-device batch.
+    pub(crate) fn teacher(&self, block: usize, batch: usize) -> SimTime {
+        self.cost
+            .teacher_time(&self.workload.model.blocks[block], batch)
+    }
+
+    /// Student execution duration for one block at a per-device batch.
+    pub(crate) fn student(&self, block: usize, batch: usize) -> SimTime {
+        self.cost
+            .student_time(&self.workload.model.blocks[block], batch)
+    }
+
+    /// Update duration for one block.
+    pub(crate) fn update(&self, block: usize) -> SimTime {
+        self.cost.update_time(&self.workload.model.blocks[block])
+    }
+}
+
+/// A lowered strategy, ready to simulate.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The emitted task graph.
+    pub graph: TaskGraph,
+    /// The stage plan, for relay-family strategies.
+    pub plan: Option<StagePlan>,
+    /// The bin-packing assignment, for the LS baseline.
+    pub ls: Option<LsAssignment>,
+    /// Rounds emitted (the caller scales makespan to a full epoch).
+    pub rounds: u32,
+}
+
+/// Lowers `strategy` into a task graph (dispatch over the submodules).
+///
+/// # Errors
+///
+/// Returns an error string if the strategy cannot be laid out (e.g. plain
+/// teacher relaying with fewer blocks than devices).
+pub fn lower(lowering: &Lowering<'_>, strategy: Strategy) -> Result<Lowered, String> {
+    match strategy {
+        Strategy::DataParallel => Ok(dp::lower(lowering)),
+        Strategy::LayerwiseScheduling => Ok(ls::lower(lowering)),
+        Strategy::TeacherRelaying => relay::lower_contiguous(lowering, false),
+        Strategy::TrDpu => relay::lower_contiguous(lowering, true),
+        Strategy::TrIr => Ok(ir::lower(lowering)),
+        Strategy::PipeBd => relay::lower_ahd(lowering),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipebd_sim::simulate;
+
+    fn ctx<'a>(workload: &'a Workload, hw: &'a HardwareConfig) -> Lowering<'a> {
+        Lowering::new(workload, hw, 256, 8)
+    }
+
+    #[test]
+    fn all_strategies_lower_and_simulate() {
+        let w = Workload::synthetic(6, false);
+        let hw = HardwareConfig::a6000_server(4);
+        let l = ctx(&w, &hw);
+        for s in Strategy::ALL {
+            let lowered = lower(&l, s).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(!lowered.graph.is_empty(), "{s} emitted no tasks");
+            let run = simulate(&lowered.graph);
+            assert!(run.makespan > SimTime::ZERO, "{s} has zero makespan");
+        }
+    }
+
+    #[test]
+    fn pipe_bd_beats_dp_on_every_paper_workload() {
+        // The headline claim, at lowering level: simulated Pipe-BD epoch
+        // time is below DP's. An epoch runs every DP phase at the full
+        // round count, so makespans at equal `rounds` are comparable
+        // directly (DP's graph already contains all B phases).
+        let hw = HardwareConfig::a6000_server(4);
+        for w in [
+            Workload::nas_cifar10(),
+            Workload::compression_cifar10(),
+        ] {
+            let l = ctx(&w, &hw);
+            let dp = simulate(&lower(&l, Strategy::DataParallel).unwrap().graph).makespan;
+            let pb = simulate(&lower(&l, Strategy::PipeBd).unwrap().graph).makespan;
+            assert!(
+                pb < dp,
+                "{}: Pipe-BD {pb} !< DP {dp} per epoch-equivalent",
+                w.label()
+            );
+        }
+    }
+
+    #[test]
+    fn teacher_relaying_requires_enough_blocks() {
+        let w = Workload::synthetic(3, false);
+        let hw = HardwareConfig::a6000_server(4);
+        let l = ctx(&w, &hw);
+        assert!(lower(&l, Strategy::TeacherRelaying).is_err());
+        // But Pipe-BD still works: AHD can batch-split.
+        assert!(lower(&l, Strategy::PipeBd).is_ok());
+    }
+}

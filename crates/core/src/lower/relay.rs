@@ -1,0 +1,356 @@
+//! Teacher relaying (Fig. 3b), decoupled parameter update (Fig. 3c), and
+//! the full hybrid Pipe-BD schedule (Fig. 3d), all lowered from a
+//! [`StagePlan`].
+//!
+//! Every stage executes, per round: receive the boundary activation from
+//! the previous stage (or load data, for stage 0) → teacher blocks → send
+//! the boundary onward (on the copy engine, overlapped) → student blocks →
+//! (gradient sharing, if the stage is batch-split) → updates. Without DPU a
+//! global barrier precedes the updates; with DPU each block updates
+//! immediately and the next round starts as soon as input is available.
+
+use pipebd_sched::{ahd, Profiler, StagePlan};
+use pipebd_sim::{Resource, SimTime, TaskGraph, TaskId, TaskKind};
+
+use super::{Lowered, Lowering, PREFETCH_DEPTH};
+
+/// Lowers plain teacher relaying (optionally with DPU) on the naive
+/// contiguous plan.
+///
+/// # Errors
+///
+/// Returns an error if there are fewer blocks than devices (plain TR
+/// cannot batch-split; the paper's AHD exists for exactly that reason).
+pub fn lower_contiguous(l: &Lowering<'_>, dpu: bool) -> Result<Lowered, String> {
+    let plan = StagePlan::contiguous(l.workload.num_blocks(), l.hw.num_gpus)
+        .map_err(|e| e.to_string())?;
+    Ok(lower_plan(l, &plan, dpu))
+}
+
+/// Lowers the full Pipe-BD schedule: profile, search hybrid plans, then
+/// emit the chosen plan with DPU.
+///
+/// # Errors
+///
+/// Currently infallible in practice (the hybrid space is never empty); the
+/// `Result` mirrors [`lower_contiguous`] for a uniform dispatch signature.
+pub fn lower_ahd(l: &Lowering<'_>) -> Result<Lowered, String> {
+    let table = Profiler::new(l.cost.clone()).profile(&l.workload.model, l.batch, l.hw.num_gpus);
+    let decision = ahd::search(l.workload, &table, l.hw, l.batch);
+    Ok(lower_plan(l, &decision.plan, true))
+}
+
+/// Emits the relayed pipeline schedule for an explicit plan.
+pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
+    let n = l.hw.num_gpus;
+    let mut g = TaskGraph::new(n);
+    let mut recent_consumes: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    // Update tasks of the previous round (barrier deps when !dpu).
+    let mut prev_round_updates: Vec<TaskId> = Vec::new();
+
+    for round in 0..l.rounds {
+        // Boundary sends of the previous stage within this round.
+        let mut prev_stage_sends: Vec<TaskId> = Vec::new();
+        let mut this_round_students: Vec<TaskId> = Vec::new();
+        // Deferred update emission for the barrier (non-DPU) case:
+        // (device, block, deps-so-far).
+        let mut pending_updates: Vec<(usize, usize, TaskId)> = Vec::new();
+
+        for stage in &plan.stages {
+            let db = stage.device_batch(l.batch);
+            let mut stage_students: Vec<TaskId> = Vec::new();
+            let mut stage_sends: Vec<TaskId> = Vec::new();
+
+            for &d in &stage.devices {
+                // Input: load for stage 0, relay receive otherwise.
+                let mut input_deps: Vec<TaskId> = if stage.first_block == 0 {
+                    let throttle = recent_consumes[d]
+                        .len()
+                        .checked_sub(PREFETCH_DEPTH)
+                        .map(|idx| recent_consumes[d][idx]);
+                    let (_, consume) = l.emit_load(&mut g, d, db, round, throttle);
+                    recent_consumes[d].push(consume);
+                    vec![consume]
+                } else {
+                    prev_stage_sends.clone()
+                };
+                // Without DPU the new round may not start before the global
+                // barrier of the previous round resolved.
+                if !dpu {
+                    input_deps.extend(prev_round_updates.iter().copied());
+                }
+
+                // Teacher chain over the stage's blocks.
+                let mut last_teacher = None;
+                for b in stage.blocks() {
+                    let deps = match last_teacher {
+                        None => input_deps.clone(),
+                        Some(t) => vec![t],
+                    };
+                    let teach = g.add_tagged(
+                        Resource::Gpu(d),
+                        TaskKind::Teacher,
+                        l.teacher(b, db),
+                        deps,
+                        Some(b as u16),
+                        round,
+                    );
+                    last_teacher = Some(teach);
+                }
+                let last_teacher = last_teacher.expect("stages are nonempty");
+
+                // Relay the boundary activation onward (overlapped on the
+                // copy engine).
+                let last_block = stage.first_block + stage.num_blocks - 1;
+                if last_block + 1 < plan.num_blocks {
+                    let bytes =
+                        l.workload.model.blocks[last_block].boundary_bytes() * db as u64;
+                    let send = g.add_tagged(
+                        Resource::Copy(d),
+                        TaskKind::Comm,
+                        l.hw.pcie.transfer_time(bytes),
+                        vec![last_teacher],
+                        Some(last_block as u16),
+                        round,
+                    );
+                    stage_sends.push(send);
+                }
+
+                // Students (forward + backward) per block.
+                let mut last_stu = None;
+                for b in stage.blocks() {
+                    let stu = g.add_tagged(
+                        Resource::Gpu(d),
+                        TaskKind::Student,
+                        l.student(b, db),
+                        vec![last_stu.unwrap_or(last_teacher)],
+                        Some(b as u16),
+                        round,
+                    );
+                    stage_students.push(stu);
+                    this_round_students.push(stu);
+                    last_stu = Some(stu);
+
+                    if dpu && stage.width() == 1 {
+                        // Immediate per-block update (Fig. 3c).
+                        let upd = g.add_tagged(
+                            Resource::Gpu(d),
+                            TaskKind::Update,
+                            l.update(b),
+                            vec![stu],
+                            Some(b as u16),
+                            round,
+                        );
+                        last_stu = Some(upd);
+                    } else {
+                        pending_updates.push((d, b, stu));
+                    }
+                }
+            }
+
+            // Data-parallel gradient sharing inside a widened stage: one
+            // fused all-reduce per member, depending on every member's
+            // backwards; the member's updates chain after it.
+            if stage.width() > 1 {
+                let grad_bytes: u64 = stage
+                    .blocks()
+                    .map(|b| 4 * l.workload.model.blocks[b].student_params)
+                    .sum();
+                let share_time = l.hw.pcie.allreduce_time(grad_bytes, stage.width());
+                let mut retained = Vec::new();
+                for &d in &stage.devices {
+                    let share = g.add_tagged(
+                        Resource::Gpu(d),
+                        TaskKind::GradShare,
+                        share_time,
+                        stage_students.clone(),
+                        None,
+                        round,
+                    );
+                    for &(pd, b, _) in pending_updates.iter().filter(|(pd, _, _)| *pd == d) {
+                        if dpu {
+                            g.add_tagged(
+                                Resource::Gpu(pd),
+                                TaskKind::Update,
+                                l.update(b),
+                                vec![share],
+                                Some(b as u16),
+                                round,
+                            );
+                        } else {
+                            retained.push((pd, b, share));
+                        }
+                    }
+                }
+                pending_updates.retain(|(pd, _, _)| !stage.devices.contains(pd));
+                pending_updates.extend(retained);
+            }
+
+            prev_stage_sends = stage_sends;
+        }
+
+        // Barrier before updates (plain TR): every pending update waits on
+        // every student of the round.
+        let mut round_updates = Vec::new();
+        if !dpu {
+            for (d, b, dep) in pending_updates.drain(..) {
+                let mut deps = this_round_students.clone();
+                deps.push(dep);
+                let upd = g.add_tagged(
+                    Resource::Gpu(d),
+                    TaskKind::Update,
+                    l.update(b),
+                    deps,
+                    Some(b as u16),
+                    round,
+                );
+                round_updates.push(upd);
+            }
+        }
+        prev_round_updates = round_updates;
+    }
+
+    Lowered {
+        graph: g,
+        plan: Some(plan.clone()),
+        ls: None,
+        rounds: l.rounds,
+    }
+}
+
+/// Estimated steady-state period of the simulated pipeline: total time of
+/// the last `tail` rounds divided by `tail` (used to validate the analytic
+/// estimator).
+pub fn simulated_period(l: &Lowering<'_>, plan: &StagePlan, dpu: bool, tail: u32) -> SimTime {
+    let lowered = lower_plan(l, plan, dpu);
+    let run = pipebd_sim::simulate(&lowered.graph);
+    // Find the completion time of round (rounds - tail - 1) and of the last
+    // round; their difference spans `tail` rounds.
+    let mut end_by_round = vec![SimTime::ZERO; l.rounds as usize];
+    for (id, t) in lowered.graph.iter() {
+        let f = run.finish[id.index()];
+        let r = t.step as usize;
+        if f > end_by_round[r] {
+            end_by_round[r] = f;
+        }
+    }
+    let last = *end_by_round.last().expect("at least one round");
+    let base = end_by_round[l.rounds as usize - 1 - tail as usize];
+    SimTime::from_ns((last.as_ns() - base.as_ns()) / tail as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipebd_models::Workload;
+    use pipebd_sim::{simulate, Breakdown, HardwareConfig};
+
+    fn ctx<'a>(w: &'a Workload, hw: &'a HardwareConfig, rounds: u32) -> Lowering<'a> {
+        Lowering::new(w, hw, 256, rounds)
+    }
+
+    #[test]
+    fn dpu_strictly_improves_on_barrier() {
+        let w = Workload::nas_cifar10();
+        let hw = HardwareConfig::a6000_server(4);
+        let l = ctx(&w, &hw, 16);
+        let tr = simulate(&lower_contiguous(&l, false).unwrap().graph).makespan;
+        let dpu = simulate(&lower_contiguous(&l, true).unwrap().graph).makespan;
+        assert!(dpu < tr, "DPU {dpu} must beat barrier {tr}");
+    }
+
+    #[test]
+    fn teacher_runs_once_per_round() {
+        // Teacher relaying eliminates redundancy: total teacher time per
+        // round equals one full forward pass.
+        let w = Workload::synthetic(8, false);
+        let hw = HardwareConfig::a6000_server(4);
+        let l = ctx(&w, &hw, 1);
+        let lowered = lower_contiguous(&l, true).unwrap();
+        let run = simulate(&lowered.graph);
+        let bd = Breakdown::from_run(&lowered.graph, &run);
+        let total_teacher: f64 = bd.ranks.iter().map(|r| r.teacher.as_secs_f64()).sum();
+        let one_pass: f64 = (0..8).map(|k| l.teacher(k, 256).as_secs_f64()).sum();
+        assert!((total_teacher - one_pass).abs() < 1e-9);
+    }
+
+    #[test]
+    fn only_first_stage_loads() {
+        let w = Workload::synthetic(8, false);
+        let hw = HardwareConfig::a6000_server(4);
+        let l = ctx(&w, &hw, 4);
+        let lowered = lower_contiguous(&l, true).unwrap();
+        let run = simulate(&lowered.graph);
+        let bd = Breakdown::from_run(&lowered.graph, &run);
+        assert!(bd.ranks[0].load > SimTime::ZERO);
+        for r in &bd.ranks[1..] {
+            assert_eq!(r.load, SimTime::ZERO, "only rank 0 consumes batches");
+        }
+    }
+
+    #[test]
+    fn simulated_period_matches_analytic_estimate() {
+        // The AHD estimator and the simulator must agree on the pipeline's
+        // steady state (within a few percent: the estimator ignores relay
+        // latency edges).
+        let w = Workload::nas_cifar10();
+        let hw = HardwareConfig::a6000_server(4);
+        let l = ctx(&w, &hw, 24);
+        let plan = StagePlan::contiguous(6, 4).unwrap();
+        let table =
+            Profiler::new(l.cost.clone()).profile(&w.model, 256, 4);
+        let analytic = pipebd_sched::estimate_period(&plan, &table, &w, &hw, 256);
+        let simulated = simulated_period(&l, &plan, true, 8);
+        let ratio = simulated.as_secs_f64() / analytic.as_secs_f64();
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "estimate {analytic} vs simulated {simulated} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn ahd_lowering_picks_split_plan_on_imagenet() {
+        let w = Workload::nas_imagenet();
+        let hw = HardwareConfig::a6000_server(4);
+        let l = ctx(&w, &hw, 4);
+        let lowered = lower_ahd(&l).unwrap();
+        assert!(lowered.plan.unwrap().uses_batch_split());
+    }
+
+    #[test]
+    fn wide_stage_emits_grad_sharing() {
+        let w = Workload::synthetic(4, true);
+        let hw = HardwareConfig::a6000_server(4);
+        let l = ctx(&w, &hw, 2);
+        let plan = StagePlan::from_widths(&[(1, 2), (3, 2)], 4, 4).unwrap();
+        let lowered = lower_plan(&l, &plan, true);
+        let has_share = lowered
+            .graph
+            .iter()
+            .any(|(_, t)| t.kind == TaskKind::GradShare);
+        assert!(has_share);
+    }
+
+    #[test]
+    fn barrier_updates_wait_on_all_students() {
+        let w = Workload::synthetic(4, false);
+        let hw = HardwareConfig::a6000_server(4);
+        let l = ctx(&w, &hw, 2);
+        let plan = StagePlan::contiguous(4, 4).unwrap();
+        let lowered = lower_plan(&l, &plan, false);
+        // Every update in round 0 must depend on >= 4 students.
+        let mut found = 0;
+        for (_, t) in lowered.graph.iter() {
+            if t.kind == TaskKind::Update && t.step == 0 {
+                let stu_deps = t
+                    .deps
+                    .iter()
+                    .filter(|d| lowered.graph.task(**d).kind == TaskKind::Student)
+                    .count();
+                assert!(stu_deps >= 4, "barrier update has only {stu_deps} student deps");
+                found += 1;
+            }
+        }
+        assert_eq!(found, 4);
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-rank peak memory accounting (the paper's Fig. 7).
+//!
+//! The accounting is analytic, mirroring how a framework's allocator peaks
+//! during blockwise distillation:
+//!
+//! * resident weights: teacher parameters (fp32) of every teacher block the
+//!   rank executes, plus student weights + gradients + momentum;
+//! * live activations: the input boundary of every owned block is retained
+//!   from the teacher pass until the student backward, plus the largest
+//!   transient teacher/student activation footprint among owned blocks;
+//! * decoupled update keeps one extra in-flight input buffer (the next
+//!   round's activation arrives while the current one is still training).
+
+use pipebd_models::Workload;
+use pipebd_sched::{LsAssignment, StagePlan};
+
+use crate::strategy::Strategy;
+
+/// Fixed per-rank framework footprint: CUDA context, cuDNN workspaces, and
+/// allocator cache. Every strategy pays it on every active rank, which is
+/// why small (CIFAR-scale) workloads show modest *relative* memory
+/// overheads in the paper despite large relative activation differences.
+pub const FRAMEWORK_BYTES: u64 = 700 * (1 << 20);
+
+fn teacher_weight_bytes(w: &Workload, blocks: impl Iterator<Item = usize>) -> u64 {
+    blocks
+        .map(|b| w.model.blocks[b].teacher_weight_bytes())
+        .sum()
+}
+
+fn student_state_bytes(w: &Workload, blocks: impl Iterator<Item = usize>) -> u64 {
+    blocks
+        .map(|b| w.model.blocks[b].student_state_bytes())
+        .sum()
+}
+
+/// Input boundaries retained for every owned block, at batch `n`.
+fn retained_inputs(w: &Workload, blocks: &[usize], n: usize) -> u64 {
+    blocks
+        .iter()
+        .map(|&b| 4 * n as u64 * w.model.blocks[b].in_shape.elems())
+        .sum()
+}
+
+/// Largest transient activation (teacher fwd + student fwd/bwd) among the
+/// owned blocks, at batch `n`.
+fn peak_transient(w: &Workload, blocks: &[usize], n: usize) -> u64 {
+    blocks
+        .iter()
+        .map(|&b| {
+            let blk = &w.model.blocks[b];
+            4 * n as u64 * (blk.teacher_peak_act_elems + blk.student_peak_act_elems)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn relay_rank_bytes(w: &Workload, blocks: &[usize], n: usize, dpu_extra: bool) -> u64 {
+    let mut bytes = teacher_weight_bytes(w, blocks.iter().copied())
+        + student_state_bytes(w, blocks.iter().copied())
+        + retained_inputs(w, blocks, n)
+        + peak_transient(w, blocks, n);
+    if dpu_extra {
+        if let Some(&first) = blocks.first() {
+            bytes += 4 * n as u64 * w.model.blocks[first].in_shape.elems();
+        }
+    }
+    bytes
+}
+
+/// Computes per-rank peak memory in bytes for a strategy.
+///
+/// `plan` must be provided for relay-family strategies and `ls` for the
+/// layerwise baseline (both as produced by the lowering).
+pub fn memory_per_rank(
+    strategy: Strategy,
+    workload: &Workload,
+    num_gpus: usize,
+    global_batch: usize,
+    plan: Option<&StagePlan>,
+    ls: Option<&LsAssignment>,
+) -> Vec<u64> {
+    let w = workload;
+    let b = w.num_blocks();
+    let shard = global_batch.div_ceil(num_gpus);
+    let mut ranks = raw_memory_per_rank(strategy, w, b, num_gpus, global_batch, shard, plan, ls);
+    for r in &mut ranks {
+        if *r > 0 {
+            *r += FRAMEWORK_BYTES;
+        }
+    }
+    ranks
+}
+
+#[allow(clippy::too_many_arguments)]
+fn raw_memory_per_rank(
+    strategy: Strategy,
+    w: &Workload,
+    b: usize,
+    num_gpus: usize,
+    global_batch: usize,
+    shard: usize,
+    plan: Option<&StagePlan>,
+    ls: Option<&LsAssignment>,
+) -> Vec<u64> {
+    match strategy {
+        Strategy::DataParallel => {
+            // Peak over phases: phase i holds teacher prefix 0..=i and
+            // student i at the shard batch.
+            let peak = (0..b)
+                .map(|i| {
+                    let blocks: Vec<usize> = vec![i];
+                    teacher_weight_bytes(w, 0..=i)
+                        + student_state_bytes(w, std::iter::once(i))
+                        + retained_inputs(w, &blocks, shard)
+                        + peak_transient_prefix(w, i, shard)
+                })
+                .max()
+                .unwrap_or(0);
+            vec![peak; num_gpus]
+        }
+        Strategy::LayerwiseScheduling => {
+            let ls = ls.expect("LS memory accounting needs the assignment");
+            (0..num_gpus)
+                .map(|d| {
+                    let blocks = &ls.device_blocks[d];
+                    if blocks.is_empty() {
+                        return 0;
+                    }
+                    let max_block = *blocks.iter().max().expect("nonempty");
+                    teacher_weight_bytes(w, 0..=max_block)
+                        + student_state_bytes(w, blocks.iter().copied())
+                        + retained_inputs(w, blocks, global_batch)
+                        + peak_transient_prefix(w, max_block, global_batch)
+                })
+                .collect()
+        }
+        Strategy::TeacherRelaying | Strategy::TrDpu | Strategy::PipeBd => {
+            let plan = plan.expect("relay memory accounting needs the plan");
+            let dpu = strategy != Strategy::TeacherRelaying;
+            (0..num_gpus)
+                .map(|d| {
+                    let Some(stage) = plan.stage_of_device(d) else {
+                        return 0;
+                    };
+                    let blocks: Vec<usize> = stage.blocks().collect();
+                    let n = stage.device_batch(global_batch);
+                    let mut bytes = relay_rank_bytes(w, &blocks, n, dpu);
+                    if stage.width() > 1 {
+                        // Gradient-sharing staging buffer.
+                        bytes += blocks
+                            .iter()
+                            .map(|&bk| 4 * w.model.blocks[bk].student_params)
+                            .sum::<u64>();
+                    }
+                    bytes
+                })
+                .collect()
+        }
+        Strategy::TrIr => {
+            let blocks: Vec<usize> = (0..b).collect();
+            let per = teacher_weight_bytes(w, 0..b)
+                + student_state_bytes(w, 0..b)
+                + retained_inputs(w, &blocks, shard)
+                + peak_transient(w, &blocks, shard);
+            vec![per; num_gpus]
+        }
+    }
+}
+
+/// Peak transient of executing the teacher prefix `0..=i` plus student `i`.
+fn peak_transient_prefix(w: &Workload, i: usize, n: usize) -> u64 {
+    let teacher_peak = (0..=i)
+        .map(|k| 4 * n as u64 * w.model.blocks[k].teacher_peak_act_elems)
+        .max()
+        .unwrap_or(0);
+    let student = 4 * n as u64 * w.model.blocks[i].student_peak_act_elems;
+    teacher_peak + student
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipebd_sched::StagePlan;
+
+    const GIB: f64 = (1u64 << 30) as f64;
+
+    fn nas_imagenet_memory(strategy: Strategy, plan: Option<&StagePlan>) -> Vec<u64> {
+        let w = Workload::nas_imagenet();
+        memory_per_rank(strategy, &w, 4, 256, plan, None)
+    }
+
+    #[test]
+    fn tr_rank0_dominates_on_imagenet() {
+        // Fig. 7b: TR/TR+DPU memory peaks on rank 0 (early blocks carry
+        // the big feature maps at full batch).
+        let plan = StagePlan::contiguous(6, 4).unwrap();
+        let mem = nas_imagenet_memory(Strategy::TrDpu, Some(&plan));
+        assert!(mem[0] > mem[1] && mem[0] > mem[2] && mem[0] > mem[3], "{mem:?}");
+    }
+
+    #[test]
+    fn dp_is_flat_across_ranks() {
+        let mem = nas_imagenet_memory(Strategy::DataParallel, None);
+        assert!(mem.iter().all(|&m| m == mem[0]));
+    }
+
+    #[test]
+    fn ahd_flattens_rank0_versus_tr() {
+        // Fig. 7: batch-splitting the early blocks reduces rank-0 memory.
+        let tr_plan = StagePlan::contiguous(6, 4).unwrap();
+        let tr = nas_imagenet_memory(Strategy::TrDpu, Some(&tr_plan));
+        let ahd_plan = StagePlan::from_widths(&[(3, 3), (3, 1)], 6, 4).unwrap();
+        let ahd = nas_imagenet_memory(Strategy::PipeBd, Some(&ahd_plan));
+        assert!(
+            ahd[0] < tr[0],
+            "AHD rank0 {:.2} GiB !< TR rank0 {:.2} GiB",
+            ahd[0] as f64 / GIB,
+            tr[0] as f64 / GIB
+        );
+    }
+
+    #[test]
+    fn magnitudes_are_plausible() {
+        // Sanity: ImageNet NAS peaks land in single-to-tens of GiB, like
+        // Fig. 7b (max ~20 GB).
+        let plan = StagePlan::contiguous(6, 4).unwrap();
+        let mem = nas_imagenet_memory(Strategy::TrDpu, Some(&plan));
+        let max = *mem.iter().max().unwrap() as f64 / GIB;
+        assert!((1.0..64.0).contains(&max), "rank0 peak {max} GiB");
+    }
+
+    #[test]
+    fn dpu_adds_an_input_buffer_over_tr() {
+        let w = Workload::nas_imagenet();
+        let plan = StagePlan::contiguous(6, 4).unwrap();
+        let tr = memory_per_rank(Strategy::TeacherRelaying, &w, 4, 256, Some(&plan), None);
+        let dpu = memory_per_rank(Strategy::TrDpu, &w, 4, 256, Some(&plan), None);
+        assert!(dpu[0] > tr[0]);
+    }
+
+    #[test]
+    fn ir_replicates_everything() {
+        let w = Workload::nas_cifar10();
+        let ir = memory_per_rank(Strategy::TrIr, &w, 4, 256, None, None);
+        let dp = memory_per_rank(Strategy::DataParallel, &w, 4, 256, None, None);
+        // IR holds all teacher+student state on every rank; DP holds only
+        // the current phase's student. IR weights strictly larger.
+        assert!(ir[0] > dp[0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! The parallelization strategies the paper compares.
+
+use serde::{Deserialize, Serialize};
+
+/// A blockwise-distillation parallelization strategy.
+///
+/// `DataParallel` and `LayerwiseScheduling` are the paper's baselines
+/// (Section VI-C); the remaining four are Pipe-BD's ablation steps from
+/// Fig. 4, with [`Strategy::PipeBd`] (= TR+DPU+AHD) being the full method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// DP: block-by-block data-parallel training (DNA's scheme, Fig. 3a).
+    DataParallel,
+    /// LS: layerwise bin-packing of independent block tasks (Blakeney et
+    /// al.).
+    LayerwiseScheduling,
+    /// TR: teacher relaying only (Fig. 3b) — pipeline with a per-step
+    /// barrier before updates.
+    TeacherRelaying,
+    /// TR+DPU: teacher relaying with decoupled parameter update (Fig. 3c).
+    TrDpu,
+    /// TR+IR: internal relaying — every device runs all blocks on a batch
+    /// shard (the paper's alternative in Section VII-A).
+    TrIr,
+    /// TR+DPU+AHD: full Pipe-BD with automatic hybrid distribution
+    /// (Fig. 3d).
+    PipeBd,
+}
+
+impl Strategy {
+    /// All strategies in the order the paper's figures list them.
+    pub const ALL: [Strategy; 6] = [
+        Strategy::DataParallel,
+        Strategy::LayerwiseScheduling,
+        Strategy::TeacherRelaying,
+        Strategy::TrDpu,
+        Strategy::TrIr,
+        Strategy::PipeBd,
+    ];
+
+    /// The ablation subset shown as colored bars in Fig. 4 (everything but
+    /// the baselines).
+    pub const PIPE_BD_VARIANTS: [Strategy; 4] = [
+        Strategy::TeacherRelaying,
+        Strategy::TrDpu,
+        Strategy::TrIr,
+        Strategy::PipeBd,
+    ];
+
+    /// The short label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::DataParallel => "DP",
+            Strategy::LayerwiseScheduling => "LS",
+            Strategy::TeacherRelaying => "TR",
+            Strategy::TrDpu => "TR+DPU",
+            Strategy::TrIr => "TR+IR",
+            Strategy::PipeBd => "TR+DPU+AHD",
+        }
+    }
+
+    /// Whether the strategy uses decoupled parameter updates (no per-step
+    /// global barrier).
+    pub fn decoupled_updates(&self) -> bool {
+        matches!(self, Strategy::TrDpu | Strategy::PipeBd)
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Strategy::DataParallel.to_string(), "DP");
+        assert_eq!(Strategy::PipeBd.to_string(), "TR+DPU+AHD");
+        assert_eq!(Strategy::ALL.len(), 6);
+    }
+
+    #[test]
+    fn dpu_flags() {
+        assert!(!Strategy::TeacherRelaying.decoupled_updates());
+        assert!(Strategy::TrDpu.decoupled_updates());
+        assert!(Strategy::PipeBd.decoupled_updates());
+        assert!(!Strategy::DataParallel.decoupled_updates());
+    }
+}

@@ -1,0 +1,184 @@
+//! VGG-16 teacher and DS-Conv student for the model-compression workload.
+//!
+//! Following the paper (and Blakeney et al., IEEE TPDS 2021), each of the
+//! 13 convolutional layers of VGG-16 is one distillation block; the student
+//! replaces every dense 3×3 convolution with a depthwise-separable
+//! convolution (depthwise 3×3 + pointwise 1×1). The classifier rides along
+//! in the last block unchanged (it is not replaced), which is why the
+//! ImageNet student's parameter count stays close to the teacher's — the
+//! fully-connected head dominates, exactly as in the paper's Table II.
+
+use crate::arch::{LayerSpec, StackSpec};
+use crate::descriptor::{BlockDescriptor, BlockModel};
+use crate::mobilenet_v2::InputVariant;
+
+/// VGG-16 convolutional plan: (output channels, followed-by-pool).
+pub const VGG16_CONVS: [(usize, bool); 13] = [
+    (64, false),
+    (64, true),
+    (128, false),
+    (128, true),
+    (256, false),
+    (256, false),
+    (256, true),
+    (512, false),
+    (512, false),
+    (512, true),
+    (512, false),
+    (512, false),
+    (512, true),
+];
+
+fn classifier(variant: InputVariant) -> Vec<LayerSpec> {
+    match variant {
+        // Standard ImageNet head: 4096-4096-1000.
+        InputVariant::ImageNet => vec![
+            LayerSpec::Linear { out_features: 4096 },
+            LayerSpec::Relu,
+            LayerSpec::Linear { out_features: 4096 },
+            LayerSpec::Relu,
+            LayerSpec::Linear { out_features: 1000 },
+        ],
+        // CIFAR head: a single small linear layer, as in common CIFAR
+        // VGG-16 ports (total params then match the paper's 14.72M).
+        InputVariant::Cifar => vec![LayerSpec::Linear { out_features: 10 }],
+    }
+}
+
+/// Builds the 13 teacher block stacks (+classifier in the last block).
+pub fn teacher_blocks(variant: InputVariant) -> Vec<StackSpec> {
+    let mut blocks = Vec::with_capacity(13);
+    for (i, &(out_c, pool)) in VGG16_CONVS.iter().enumerate() {
+        let mut layers = vec![LayerSpec::conv(out_c, 3, 1), LayerSpec::Relu];
+        if pool {
+            layers.push(LayerSpec::MaxPool { kernel: 2, stride: 2 });
+        }
+        if i == VGG16_CONVS.len() - 1 {
+            layers.extend(classifier(variant));
+        }
+        blocks.push(StackSpec::new(layers));
+    }
+    blocks
+}
+
+/// Builds the 13 DS-Conv student block stacks mirroring the teacher.
+pub fn student_blocks(variant: InputVariant) -> Vec<StackSpec> {
+    let mut in_c = variant.input_shape().c;
+    let mut blocks = Vec::with_capacity(13);
+    for (i, &(out_c, pool)) in VGG16_CONVS.iter().enumerate() {
+        let mut layers = vec![
+            LayerSpec::depthwise(in_c, 3, 1),
+            LayerSpec::Relu,
+            LayerSpec::pointwise(out_c),
+            LayerSpec::Relu,
+        ];
+        if pool {
+            layers.push(LayerSpec::MaxPool { kernel: 2, stride: 2 });
+        }
+        if i == VGG16_CONVS.len() - 1 {
+            layers.extend(classifier(variant));
+        }
+        blocks.push(StackSpec::new(layers));
+        in_c = out_c;
+    }
+    blocks
+}
+
+/// Builds the compression teacher/student [`BlockModel`] (VGG-16 →
+/// DS-Conv).
+pub fn compression_block_model(variant: InputVariant) -> BlockModel {
+    let teacher = teacher_blocks(variant);
+    let student = student_blocks(variant);
+    let mut shape = variant.input_shape();
+    let mut blocks = Vec::with_capacity(teacher.len());
+    for (i, (t, s)) in teacher.iter().zip(student.iter()).enumerate() {
+        let b = BlockDescriptor::from_stacks(format!("conv{i}"), shape, t, s);
+        shape = b.out_shape;
+        blocks.push(b);
+    }
+    BlockModel {
+        name: format!("vgg16->dsconv/{:?}", variant),
+        input_shape: variant.input_shape(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals(blocks: &[StackSpec], variant: InputVariant) -> (u64, u64) {
+        let mut shape = variant.input_shape();
+        let mut macs = 0;
+        let mut params = 0;
+        for b in blocks {
+            let c = b.cost(shape);
+            macs += c.macs;
+            params += c.params;
+            shape = c.out_shape;
+        }
+        (macs, params)
+    }
+
+    #[test]
+    fn imagenet_teacher_near_published() {
+        let (macs, params) = totals(&teacher_blocks(InputVariant::ImageNet), InputVariant::ImageNet);
+        // Published VGG-16: ~15.5G MACs (the paper reports 30.98B FLOPs =
+        // 2 MACs), ~138.36M params.
+        assert!(
+            (14_000_000_000..17_000_000_000).contains(&macs),
+            "MACs {macs}"
+        );
+        assert!(
+            (135_000_000..142_000_000).contains(&params),
+            "params {params}"
+        );
+    }
+
+    #[test]
+    fn cifar_teacher_near_published() {
+        let (macs, params) = totals(&teacher_blocks(InputVariant::Cifar), InputVariant::Cifar);
+        // Paper Table II: 0.63B FLOPs (=2 MACs -> ~315M MACs), 14.72M params.
+        assert!((280_000_000..360_000_000).contains(&macs), "MACs {macs}");
+        assert!((14_000_000..15_500_000).contains(&params), "params {params}");
+    }
+
+    #[test]
+    fn student_lighter_in_conv_compute() {
+        let (t_macs, _) = totals(&teacher_blocks(InputVariant::Cifar), InputVariant::Cifar);
+        let (s_macs, s_params) = totals(&student_blocks(InputVariant::Cifar), InputVariant::Cifar);
+        assert!(s_macs < t_macs, "DS-Conv student must be cheaper");
+        // A full DS-Conv replacement shrinks the 14.7M conv params to
+        // ~1.7M. (The paper reports 7.25M for its student, implying a
+        // partial replacement; see EXPERIMENTS.md. The scheduling
+        // experiments only need "student cheaper than teacher".)
+        assert!((1_000_000..10_000_000).contains(&s_params), "params {s_params}");
+    }
+
+    #[test]
+    fn imagenet_student_params_dominated_by_head() {
+        let (_, t_params) = totals(&teacher_blocks(InputVariant::ImageNet), InputVariant::ImageNet);
+        let (_, s_params) = totals(&student_blocks(InputVariant::ImageNet), InputVariant::ImageNet);
+        // Paper: 138.36M vs 138.09M — nearly equal because the FC head
+        // dominates and is not replaced.
+        let ratio = s_params as f64 / t_params as f64;
+        assert!(ratio > 0.85, "ratio {ratio}");
+    }
+
+    #[test]
+    fn compression_model_validates_thirteen_blocks() {
+        for variant in [InputVariant::Cifar, InputVariant::ImageNet] {
+            let m = compression_block_model(variant);
+            assert_eq!(m.num_blocks(), 13);
+            m.validate().expect("boundary continuity");
+        }
+    }
+
+    #[test]
+    fn boundaries_shrink_spatially() {
+        let m = compression_block_model(InputVariant::ImageNet);
+        assert_eq!(m.blocks[0].out_shape.h, 224);
+        assert_eq!(m.blocks[1].out_shape.h, 112);
+        assert_eq!(m.blocks[12].out_shape.c, 1000);
+    }
+}

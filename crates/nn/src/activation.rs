@@ -1,0 +1,141 @@
+use pipebd_tensor::{Result, Tensor, TensorError};
+
+use crate::{Layer, Mode, Param};
+
+/// Rectified linear unit, `max(0, x)`.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(x.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| TensorError::invalid("relu: backward before forward"))?;
+        if mask.len() != dy.numel() {
+            return Err(TensorError::LengthMismatch {
+                expected: mask.len(),
+                actual: dy.numel(),
+                op: "relu_backward",
+            });
+        }
+        let mut dx = dy.clone();
+        for (v, &keep) in dx.data_mut().iter_mut().zip(mask.iter()) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        Ok(dx)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// ReLU6, `min(max(0, x), 6)` — the activation used by MobileNetV2.
+#[derive(Debug, Clone, Default)]
+pub struct Relu6 {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu6 {
+    /// Creates a ReLU6 layer.
+    pub fn new() -> Self {
+        Relu6::default()
+    }
+}
+
+impl Layer for Relu6 {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode == Mode::Train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0 && v < 6.0).collect());
+        }
+        Ok(x.map(|v| v.clamp(0.0, 6.0)))
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| TensorError::invalid("relu6: backward before forward"))?;
+        if mask.len() != dy.numel() {
+            return Err(TensorError::LengthMismatch {
+                expected: mask.len(),
+                actual: dy.numel(),
+                op: "relu6_backward",
+            });
+        }
+        let mut dx = dy.clone();
+        for (v, &keep) in dx.data_mut().iter_mut().zip(mask.iter()) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        Ok(dx)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "relu6"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut l = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = l.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let dy = Tensor::ones(&[3]);
+        let dx = l.backward(&dy).unwrap();
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu6_clamps_both_sides() {
+        let mut l = Relu6::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0, 9.0], &[3]).unwrap();
+        let y = l.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[0.0, 3.0, 6.0]);
+        let dx = l.backward(&Tensor::ones(&[3])).unwrap();
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut l = Relu::new();
+        assert!(l.backward(&Tensor::ones(&[1])).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+use pipebd_tensor::Tensor;
+
+/// Classifies a trainable parameter.
+///
+/// NAS workloads alternate between updating network *weights* and
+/// *architecture parameters* (the per-candidate logits of a [`MixedOp`]);
+/// the optimizer filters on this kind.
+///
+/// [`MixedOp`]: crate::MixedOp
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// Ordinary network weight (conv kernels, biases, norm affines, …).
+    Weight,
+    /// NAS architecture parameter.
+    Arch,
+}
+
+/// A trainable tensor together with its gradient accumulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Whether this is a weight or an architecture parameter.
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// Creates a weight parameter with a zeroed gradient.
+    pub fn weight(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param {
+            value,
+            grad,
+            kind: ParamKind::Weight,
+        }
+    }
+
+    /// Creates an architecture parameter with a zeroed gradient.
+    pub fn arch(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param {
+            value,
+            grad,
+            kind: ParamKind::Arch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_zero_grad() {
+        let p = Param::weight(Tensor::ones(&[2, 2]));
+        assert_eq!(p.grad.sq_norm(), 0.0);
+        assert_eq!(p.kind, ParamKind::Weight);
+        let a = Param::arch(Tensor::ones(&[3]));
+        assert_eq!(a.kind, ParamKind::Arch);
+        assert_eq!(a.grad.dims(), &[3]);
+    }
+}

@@ -1,0 +1,115 @@
+use pipebd_tensor::{Result, Tensor};
+
+use crate::{Layer, Mode, Param};
+
+/// A sequence of layers applied in order.
+///
+/// `Sequential` is itself a [`Layer`], so sequences nest.
+#[derive(Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequence from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers in the sequence.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the sequence has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        write!(f, "Sequential({names:?})")
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode)?;
+        }
+        Ok(cur)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let mut cur = dy.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use pipebd_tensor::Rng64;
+
+    #[test]
+    fn forward_backward_through_stack() {
+        let mut rng = Rng64::seed_from_u64(0);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 3, &mut rng)),
+        ]);
+        assert_eq!(net.len(), 3);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        let dx = net.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(dx.dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn visit_params_covers_all_layers() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(2, 2, &mut rng)),
+            Box::new(Linear::new(2, 2, &mut rng)),
+        ]);
+        let mut count = 0;
+        net.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 4); // two weights + two biases
+    }
+
+    #[test]
+    fn debug_shows_layer_names() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let net = Sequential::default().push(Box::new(Linear::new(1, 1, &mut rng)));
+        assert!(format!("{net:?}").contains("linear"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the NN layer stack: every layer's backward
+//! pass must be the true derivative of its forward pass (checked via the
+//! probe-adjoint identity against finite differences on random inputs),
+//! and optimizer/loss algebra must hold for arbitrary values.
+
+use pipebd_nn::{
+    cross_entropy_loss, mse_loss, BatchNorm2d, Conv2d, Layer, Linear, MixedOp, Mode, Relu,
+    Sequential, Sgd,
+};
+use pipebd_tensor::{Rng64, Tensor};
+use proptest::prelude::*;
+
+fn vecf(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.5f32..1.5, len)
+}
+
+/// Checks `dx` from a layer's backward against central differences of the
+/// probe objective `sum(probe * layer(x))` at a few coordinates.
+fn check_input_grad(layer: &mut dyn Layer, x: &Tensor, coords: &[usize]) -> Result<(), String> {
+    let y = layer.forward(x, Mode::Train).map_err(|e| e.to_string())?;
+    let mut rng = Rng64::seed_from_u64(1234);
+    let probe = Tensor::randn(y.dims(), &mut rng);
+    let dx = layer.backward(&probe).map_err(|e| e.to_string())?;
+    for &i in coords {
+        let eps = 1e-2;
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let fp = layer
+            .forward(&xp, Mode::Eval)
+            .map_err(|e| e.to_string())?
+            .mul(&probe)
+            .map_err(|e| e.to_string())?
+            .sum();
+        let fm = layer
+            .forward(&xm, Mode::Eval)
+            .map_err(|e| e.to_string())?
+            .mul(&probe)
+            .map_err(|e| e.to_string())?
+            .sum();
+        let num = (fp - fm) / (2.0 * eps);
+        let ana = dx.data()[i];
+        if (num - ana).abs() > 5e-2 * (1.0 + ana.abs()) {
+            return Err(format!("coord {i}: numeric {num} vs analytic {ana}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linear_backward_is_true_gradient(x in vecf(2 * 4), seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let x = Tensor::from_vec(x, &[2, 4]).unwrap();
+        prop_assert!(check_input_grad(&mut l, &x, &[0, 3, 7]).is_ok());
+    }
+
+    #[test]
+    fn conv_layer_backward_is_true_gradient(x in vecf(2 * 25), seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut l = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::from_vec(x, &[1, 2, 5, 5]).unwrap();
+        prop_assert!(check_input_grad(&mut l, &x, &[0, 12, 33, 49]).is_ok());
+    }
+
+    #[test]
+    fn sequential_backward_chains_correctly(x in vecf(3 * 4), seed in 0u64..1000) {
+        // Two chained Linears: finite differences are exact here (ReLU's
+        // kink is covered by direct unit tests with controlled inputs).
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut l = Sequential::new(vec![
+            Box::new(Linear::new(4, 5, &mut rng)),
+            Box::new(Linear::new(5, 2, &mut rng)),
+        ]);
+        let x = Tensor::from_vec(x, &[3, 4]).unwrap();
+        prop_assert!(check_input_grad(&mut l, &x, &[0, 5, 11]).is_ok());
+    }
+
+    #[test]
+    fn relu_masks_are_exact_on_offset_inputs(x in vecf(16)) {
+        // Inputs bounded away from zero make the subgradient unambiguous.
+        let x: Vec<f32> = x
+            .into_iter()
+            .map(|v| if v >= 0.0 { v + 0.2 } else { v - 0.2 })
+            .collect();
+        let mut l = Relu::new();
+        let t = Tensor::from_vec(x.clone(), &[16]).unwrap();
+        l.forward(&t, Mode::Train).unwrap();
+        let dx = l.backward(&Tensor::ones(&[16])).unwrap();
+        for (i, &v) in x.iter().enumerate() {
+            prop_assert_eq!(dx.data()[i], if v > 0.0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn mixed_op_backward_is_true_gradient(x in vecf(2 * 16), seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut l = MixedOp::new(vec![
+            Box::new(Conv2d::new(2, 2, 3, 1, 1, &mut rng)),
+            Box::new(Conv2d::new(2, 2, 1, 1, 0, &mut rng)),
+        ]);
+        let x = Tensor::from_vec(x, &[1, 2, 4, 4]).unwrap();
+        prop_assert!(check_input_grad(&mut l, &x, &[0, 9, 21, 31]).is_ok());
+    }
+
+    #[test]
+    fn batchnorm_normalizes_any_input(x in vecf(4 * 2 * 9), shift in -3.0f32..3.0) {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec(x, &[4, 2, 3, 3]).unwrap().map(|v| v + shift);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Output mean per channel ~0 regardless of the input shift.
+        for c in 0..2 {
+            let mut sum = 0.0f32;
+            for b in 0..4 {
+                for h in 0..3 {
+                    for w in 0..3 {
+                        sum += y.at(&[b, c, h, w]).unwrap();
+                    }
+                }
+            }
+            prop_assert!((sum / 36.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mse_is_nonnegative_and_zero_iff_equal(a in vecf(12), b in vecf(12)) {
+        let ta = Tensor::from_vec(a.clone(), &[12]).unwrap();
+        let tb = Tensor::from_vec(b, &[12]).unwrap();
+        let l = mse_loss(&ta, &tb).unwrap();
+        prop_assert!(l.loss >= 0.0);
+        let self_loss = mse_loss(&ta, &ta).unwrap();
+        prop_assert_eq!(self_loss.loss, 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_bounded_below_by_zero(logits in vecf(3 * 5), labels in proptest::collection::vec(0usize..5, 3)) {
+        let t = Tensor::from_vec(logits, &[3, 5]).unwrap();
+        let l = cross_entropy_loss(&t, &labels).unwrap();
+        prop_assert!(l.loss >= 0.0);
+        // Gradient rows sum to ~0 (softmax minus one-hot).
+        for i in 0..3 {
+            let row: f32 = l.grad.data()[i * 5..(i + 1) * 5].iter().sum();
+            prop_assert!(row.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient(lr in 0.001f32..0.5, seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::randn(&[4, 3], &mut rng);
+        let y = l.forward(&x, Mode::Train).unwrap();
+        let target = Tensor::zeros(y.dims());
+        let before = mse_loss(&y, &target).unwrap().loss;
+        let grad = mse_loss(&y, &target).unwrap().grad;
+        l.backward(&grad).unwrap();
+        let mut sgd = Sgd::new(lr.min(0.05), 0.0, 0.0);
+        sgd.step(&mut l).unwrap();
+        let after = mse_loss(&l.forward(&x, Mode::Eval).unwrap(), &target)
+            .unwrap()
+            .loss;
+        prop_assert!(after <= before + 1e-6, "loss rose: {before} -> {after}");
+    }
+}

@@ -1,0 +1,340 @@
+//! **Extension beyond the paper:** automatic hybrid distribution on
+//! *heterogeneous* servers.
+//!
+//! The paper's conclusion names heterogeneous GPUs/servers as future work.
+//! This module extends the AHD search to servers whose ranks have
+//! different GPU models: stage times are evaluated per rank with that
+//! rank's cost model, and batch-split stages shard their batch
+//! *proportionally to member throughput* (instead of evenly), so a 2080 Ti
+//! paired with an A6000 receives a smaller shard rather than stalling the
+//! stage.
+//!
+//! The plan vocabulary is unchanged ([`StagePlan`]); the decision gains a
+//! per-stage batch split.
+
+use pipebd_models::Workload;
+use pipebd_sim::{GpuModel, HostModel, PcieModel, SimTime};
+
+use crate::cost::CostModel;
+use crate::plan::{enumerate_hybrid_plans, Stage, StagePlan};
+
+/// A single-node server whose ranks may carry different GPU models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroServer {
+    /// GPU model per rank (`gpus.len()` = device count).
+    pub gpus: Vec<GpuModel>,
+    /// Shared interconnect.
+    pub pcie: PcieModel,
+    /// Shared host/loader.
+    pub host: HostModel,
+}
+
+impl HeteroServer {
+    /// A server with the given per-rank GPUs, PCIe 4.0, EPYC host.
+    pub fn new(gpus: Vec<GpuModel>) -> Self {
+        HeteroServer {
+            gpus,
+            pcie: PcieModel::gen4_x16(),
+            host: HostModel::epyc7302(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Short identifier, e.g. `"2x RTX A6000 + 2x RTX 2080Ti"`.
+    pub fn label(&self) -> String {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for g in &self.gpus {
+            match counts.iter_mut().find(|(n, _)| *n == g.name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((g.name.clone(), 1)),
+            }
+        }
+        counts
+            .iter()
+            .map(|(n, c)| format!("{c}x {n}"))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+/// The heterogeneous AHD decision: a plan plus per-stage batch shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroDecision {
+    /// The chosen plan.
+    pub plan: StagePlan,
+    /// For each stage, the batch shard assigned to each member (same order
+    /// as `stage.devices`; sums to the global batch).
+    pub splits: Vec<Vec<usize>>,
+    /// Estimated steady-state step period.
+    pub estimate: SimTime,
+}
+
+/// Time one member of a stage takes for its shard on its own GPU.
+fn member_time(
+    cost: &CostModel,
+    workload: &Workload,
+    stage: &Stage,
+    shard: usize,
+) -> SimTime {
+    let mut t = SimTime::ZERO;
+    for b in stage.blocks() {
+        let desc = &workload.model.blocks[b];
+        t += cost.teacher_time(desc, shard);
+        t += cost.student_time(desc, shard);
+        t += cost.update_time(desc);
+    }
+    t
+}
+
+/// Splits `batch` across the stage's members proportionally to their
+/// measured throughput on this stage (largest-remainder rounding; every
+/// member gets at least one sample).
+pub fn proportional_split(
+    costs: &[CostModel],
+    workload: &Workload,
+    stage: &Stage,
+    batch: usize,
+) -> Vec<usize> {
+    let m = stage.width();
+    if m == 1 {
+        return vec![batch];
+    }
+    // Throughput probe at the even split.
+    let even = batch.div_ceil(m);
+    let speeds: Vec<f64> = stage
+        .devices
+        .iter()
+        .map(|&d| {
+            let t = member_time(&costs[d], workload, stage, even).as_secs_f64();
+            if t <= 0.0 {
+                1.0
+            } else {
+                even as f64 / t
+            }
+        })
+        .collect();
+    let total_speed: f64 = speeds.iter().sum();
+    // Largest-remainder allocation with a floor of 1 sample.
+    let mut shares: Vec<(usize, f64)> = speeds
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, batch as f64 * s / total_speed))
+        .collect();
+    let mut alloc: Vec<usize> = shares.iter().map(|(_, x)| (x.floor() as usize).max(1)).collect();
+    let mut assigned: usize = alloc.iter().sum();
+    // Fix rounding drift: hand out remaining samples by largest remainder,
+    // or claw back from the smallest remainders.
+    shares.sort_by(|a, b| {
+        let ra = a.1 - a.1.floor();
+        let rb = b.1 - b.1.floor();
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut i = 0;
+    while assigned < batch {
+        alloc[shares[i % shares.len()].0] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    let mut j = shares.len();
+    while assigned > batch {
+        j = if j == 0 { shares.len() } else { j } - 1;
+        let idx = shares[j].0;
+        if alloc[idx] > 1 {
+            alloc[idx] -= 1;
+            assigned -= 1;
+        }
+    }
+    alloc
+}
+
+/// Steady-state time of one stage with proportional sharding.
+pub fn stage_time_hetero(
+    costs: &[CostModel],
+    workload: &Workload,
+    server: &HeteroServer,
+    stage: &Stage,
+    batch: usize,
+) -> (SimTime, Vec<usize>) {
+    let split = proportional_split(costs, workload, stage, batch);
+    let mut worst = SimTime::ZERO;
+    for (member, &d) in stage.devices.iter().enumerate() {
+        let mut t = member_time(&costs[d], workload, stage, split[member]);
+        if stage.first_block == 0 {
+            let bytes = split[member] as u64 * workload.dataset.sample_bytes();
+            t += server.host.consume_time(split[member], bytes, &server.pcie);
+        }
+        if t > worst {
+            worst = t;
+        }
+    }
+    if stage.width() > 1 {
+        let grad_bytes: u64 = stage
+            .blocks()
+            .map(|b| 4 * workload.model.blocks[b].student_params)
+            .sum();
+        worst += server.pcie.allreduce_time(grad_bytes, stage.width());
+    }
+    (worst, split)
+}
+
+/// Exhaustive heterogeneous AHD search: same plan space as the paper's
+/// AHD, per-rank cost models, proportional batch splits.
+pub fn search(workload: &Workload, server: &HeteroServer, batch: usize) -> HeteroDecision {
+    let costs: Vec<CostModel> = server
+        .gpus
+        .iter()
+        .map(|g| CostModel::new(g.clone()))
+        .collect();
+    let plans = enumerate_hybrid_plans(workload.num_blocks(), server.num_gpus());
+    let mut best: Option<HeteroDecision> = None;
+    for plan in plans {
+        let mut period = SimTime::ZERO;
+        let mut splits = Vec::with_capacity(plan.stages.len());
+        for stage in &plan.stages {
+            let (t, split) = stage_time_hetero(&costs, workload, server, stage, batch);
+            if t > period {
+                period = t;
+            }
+            splits.push(split);
+        }
+        if best.as_ref().map_or(true, |b| period < b.estimate) {
+            best = Some(HeteroDecision {
+                plan,
+                splits,
+                estimate: period,
+            });
+        }
+    }
+    best.expect("plan space is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profiler;
+    use pipebd_sim::HardwareConfig;
+
+    fn mixed_server() -> HeteroServer {
+        HeteroServer::new(vec![
+            GpuModel::a6000(),
+            GpuModel::a6000(),
+            GpuModel::rtx2080ti(),
+            GpuModel::rtx2080ti(),
+        ])
+    }
+
+    #[test]
+    fn label_groups_gpu_types() {
+        assert_eq!(mixed_server().label(), "2x RTX A6000 + 2x RTX 2080Ti");
+        let homo = HeteroServer::new(vec![GpuModel::a6000(); 4]);
+        assert_eq!(homo.label(), "4x RTX A6000");
+    }
+
+    #[test]
+    fn homogeneous_degenerates_to_paper_ahd() {
+        // With identical GPUs the heterogeneous search must pick the same
+        // plan as the paper's AHD (splits even up to rounding).
+        let w = Workload::nas_imagenet();
+        let hw = HardwareConfig::a6000_server(4);
+        let homo = HeteroServer {
+            gpus: vec![hw.gpu.clone(); 4],
+            pcie: hw.pcie.clone(),
+            host: hw.host.clone(),
+        };
+        let hetero = search(&w, &homo, 256);
+        let table = Profiler::new(CostModel::new(hw.gpu.clone())).profile(&w.model, 256, 4);
+        let paper = crate::ahd::search(&w, &table, &hw, 256);
+        assert_eq!(hetero.plan, paper.plan);
+        for split in &hetero.splits {
+            let max = *split.iter().max().unwrap();
+            let min = *split.iter().min().unwrap();
+            assert!(max - min <= 1, "even split expected, got {split:?}");
+        }
+    }
+
+    #[test]
+    fn faster_gpu_receives_larger_shard() {
+        let w = Workload::nas_imagenet();
+        let server = mixed_server();
+        let costs: Vec<CostModel> = server
+            .gpus
+            .iter()
+            .map(|g| CostModel::new(g.clone()))
+            .collect();
+        // A stage spanning all four devices: ranks 0-1 are A6000s.
+        let stage = Stage {
+            first_block: 0,
+            num_blocks: 1,
+            devices: vec![0, 1, 2, 3],
+        };
+        let split = proportional_split(&costs, &w, &stage, 256);
+        assert_eq!(split.iter().sum::<usize>(), 256);
+        assert!(
+            split[0] > split[2],
+            "A6000 shard {} should exceed 2080Ti shard {}",
+            split[0],
+            split[2]
+        );
+        assert_eq!(split[0], split[1], "equal GPUs get equal shards");
+    }
+
+    #[test]
+    fn proportional_split_beats_even_split() {
+        let w = Workload::nas_imagenet();
+        let server = mixed_server();
+        let costs: Vec<CostModel> = server
+            .gpus
+            .iter()
+            .map(|g| CostModel::new(g.clone()))
+            .collect();
+        let stage = Stage {
+            first_block: 0,
+            num_blocks: 2,
+            devices: vec![0, 1, 2, 3],
+        };
+        let (t_prop, _) = stage_time_hetero(&costs, &w, &server, &stage, 256);
+        // Even split: slowest member (2080Ti at 64) bounds the stage.
+        let even = 256usize.div_ceil(4);
+        let t_even = stage
+            .devices
+            .iter()
+            .map(|&d| member_time(&costs[d], &w, &stage, even))
+            .max()
+            .unwrap();
+        assert!(
+            t_prop.as_secs_f64() < t_even.as_secs_f64(),
+            "proportional {t_prop} should beat even {t_even}"
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic_and_valid() {
+        let w = Workload::nas_cifar10();
+        let server = mixed_server();
+        let a = search(&w, &server, 256);
+        let b = search(&w, &server, 256);
+        assert_eq!(a, b);
+        a.plan.validate().unwrap();
+        assert_eq!(a.splits.len(), a.plan.stages.len());
+        for (stage, split) in a.plan.stages.iter().zip(a.splits.iter()) {
+            assert_eq!(split.len(), stage.width());
+            assert_eq!(split.iter().sum::<usize>(), 256);
+        }
+    }
+
+    #[test]
+    fn mixed_server_estimate_between_pure_servers() {
+        // A 2xA6000+2x2080Ti server should be no faster than 4x A6000 and
+        // no slower than 4x 2080Ti.
+        let w = Workload::compression_cifar10();
+        let fast = search(&w, &HeteroServer::new(vec![GpuModel::a6000(); 4]), 256);
+        let slow = search(&w, &HeteroServer::new(vec![GpuModel::rtx2080ti(); 4]), 256);
+        let mixed = search(&w, &mixed_server(), 256);
+        assert!(fast.estimate <= mixed.estimate);
+        assert!(mixed.estimate <= slow.estimate);
+    }
+}

@@ -1,0 +1,194 @@
+//! The profiling pass that feeds the AHD search.
+//!
+//! The real Pipe-BD runs ~100 test steps of every block at every feasible
+//! batch size before training, then searches schedules over the measured
+//! times. Here "measurement" queries the [`CostModel`] (the same model the
+//! simulator charges), optionally perturbed by deterministic measurement
+//! noise so tests can exercise the search's robustness to imperfect
+//! profiles.
+
+use pipebd_models::BlockModel;
+use pipebd_sim::SimTime;
+
+use crate::cost::CostModel;
+
+/// Profiled per-block execution times at a set of feasible batch sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileTable {
+    batch_sizes: Vec<usize>,
+    /// `teacher[block][batch_index]`.
+    teacher: Vec<Vec<SimTime>>,
+    /// `student[block][batch_index]` (forward + backward).
+    student: Vec<Vec<SimTime>>,
+    /// `update[block]`.
+    update: Vec<SimTime>,
+}
+
+impl ProfileTable {
+    /// The batch sizes the table was profiled at.
+    pub fn batch_sizes(&self) -> &[usize] {
+        &self.batch_sizes
+    }
+
+    /// Profiled teacher time for a block at a batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` was not profiled (the AHD search only queries
+    /// feasible batches, which are exactly the profiled ones).
+    pub fn teacher_time(&self, block: usize, batch: usize) -> SimTime {
+        self.teacher[block][self.batch_index(batch)]
+    }
+
+    /// Profiled student time for a block at a batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` was not profiled.
+    pub fn student_time(&self, block: usize, batch: usize) -> SimTime {
+        self.student[block][self.batch_index(batch)]
+    }
+
+    /// Profiled update time for a block.
+    pub fn update_time(&self, block: usize) -> SimTime {
+        self.update[block]
+    }
+
+    fn batch_index(&self, batch: usize) -> usize {
+        self.batch_sizes
+            .iter()
+            .position(|&b| b == batch)
+            .unwrap_or_else(|| panic!("batch {batch} was not profiled: {:?}", self.batch_sizes))
+    }
+}
+
+/// Profiler configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profiler {
+    /// Cost model standing in for the device under test.
+    pub cost: CostModel,
+    /// Relative measurement noise amplitude (0 = exact). Deterministic:
+    /// derived from block/batch indices, not a stateful RNG.
+    pub noise: f64,
+}
+
+impl Profiler {
+    /// A noise-free profiler over the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Profiler { cost, noise: 0.0 }
+    }
+
+    /// Profiles every block of `model` at the feasible per-device batches
+    /// for a global batch on up to `num_devices` devices:
+    /// `{⌈batch/m⌉ : m = 1..=num_devices}`.
+    pub fn profile(&self, model: &BlockModel, global_batch: usize, num_devices: usize) -> ProfileTable {
+        let mut batch_sizes: Vec<usize> = (1..=num_devices)
+            .map(|m| global_batch.div_ceil(m))
+            .collect();
+        batch_sizes.sort_unstable();
+        batch_sizes.dedup();
+
+        let jitter = |block: usize, bi: usize, t: SimTime| -> SimTime {
+            if self.noise == 0.0 {
+                return t;
+            }
+            // Deterministic multiplicative jitter in [1-noise, 1+noise].
+            let h = (block as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(bi as u64)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+            let factor = 1.0 + self.noise * (2.0 * unit - 1.0);
+            SimTime::from_secs_f64(t.as_secs_f64() * factor)
+        };
+
+        let mut teacher = Vec::with_capacity(model.num_blocks());
+        let mut student = Vec::with_capacity(model.num_blocks());
+        let mut update = Vec::with_capacity(model.num_blocks());
+        for (i, desc) in model.blocks.iter().enumerate() {
+            let t_row: Vec<SimTime> = batch_sizes
+                .iter()
+                .enumerate()
+                .map(|(bi, &b)| jitter(i, bi, self.cost.teacher_time(desc, b)))
+                .collect();
+            let s_row: Vec<SimTime> = batch_sizes
+                .iter()
+                .enumerate()
+                .map(|(bi, &b)| jitter(i, bi + 1000, self.cost.student_time(desc, b)))
+                .collect();
+            teacher.push(t_row);
+            student.push(s_row);
+            update.push(self.cost.update_time(desc));
+        }
+        ProfileTable {
+            batch_sizes,
+            teacher,
+            student,
+            update,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipebd_models::Workload;
+    use pipebd_sim::GpuModel;
+
+    fn table(noise: f64) -> ProfileTable {
+        let w = Workload::nas_cifar10();
+        let p = Profiler {
+            cost: CostModel::new(GpuModel::a6000()),
+            noise,
+        };
+        p.profile(&w.model, 256, 4)
+    }
+
+    #[test]
+    fn profiles_feasible_batches() {
+        let t = table(0.0);
+        assert_eq!(t.batch_sizes(), &[64, 86, 128, 256]);
+    }
+
+    #[test]
+    fn exact_profile_matches_cost_model() {
+        let w = Workload::nas_cifar10();
+        let cm = CostModel::new(GpuModel::a6000());
+        let t = table(0.0);
+        for (i, desc) in w.model.blocks.iter().enumerate() {
+            assert_eq!(t.teacher_time(i, 128), cm.teacher_time(desc, 128));
+            assert_eq!(t.student_time(i, 256), cm.student_time(desc, 256));
+            assert_eq!(t.update_time(i), cm.update_time(desc));
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_bounded() {
+        let exact = table(0.0);
+        let noisy = table(0.1);
+        let mut any_diff = false;
+        for block in 0..6 {
+            for &b in exact.batch_sizes() {
+                let e = exact.teacher_time(block, b).as_secs_f64();
+                let n = noisy.teacher_time(block, b).as_secs_f64();
+                assert!((n / e - 1.0).abs() <= 0.100001, "noise out of bounds");
+                any_diff |= (n - e).abs() > 0.0;
+            }
+        }
+        assert!(any_diff, "noise must perturb something");
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let a = table(0.05);
+        let b = table(0.05);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not profiled")]
+    fn unprofiled_batch_panics() {
+        let t = table(0.0);
+        let _ = t.teacher_time(0, 57);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the scheduling crate: the plan space is
+//! exactly the closed-form composition product, every enumerated plan is
+//! structurally valid, the LS packing covers blocks exactly once, and the
+//! analytic period is the max stage time.
+
+use pipebd_models::Workload;
+use pipebd_sched::{
+    compositions, enumerate_hybrid_plans, estimate_period, hybrid_plan_count, ls, stage_time,
+    CostModel, Profiler, StagePlan,
+};
+use pipebd_sim::{GpuModel, HardwareConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compositions_are_exact(total in 1usize..10, parts in 1usize..6) {
+        let comps = compositions(total, parts);
+        for c in &comps {
+            prop_assert_eq!(c.len(), parts);
+            prop_assert_eq!(c.iter().sum::<usize>(), total);
+            prop_assert!(c.iter().all(|&x| x > 0));
+        }
+        // No duplicates.
+        let mut sorted = comps.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), comps.len());
+    }
+
+    #[test]
+    fn plan_enumeration_matches_closed_form(blocks in 1usize..10, devices in 1usize..7) {
+        let plans = enumerate_hybrid_plans(blocks, devices);
+        prop_assert_eq!(plans.len(), hybrid_plan_count(blocks, devices));
+        for p in &plans {
+            prop_assert!(p.validate().is_ok(), "invalid plan {p}");
+        }
+        // No duplicates in the space.
+        let mut seen = std::collections::HashSet::new();
+        for p in &plans {
+            prop_assert!(seen.insert(format!("{p}")), "duplicate plan {p}");
+        }
+    }
+
+    #[test]
+    fn contiguous_plan_always_covers(blocks in 1usize..20, devices in 1usize..8) {
+        prop_assume!(blocks >= devices);
+        let p = StagePlan::contiguous(blocks, devices).unwrap();
+        p.validate().unwrap();
+        // Every block belongs to exactly one stage.
+        for b in 0..blocks {
+            prop_assert!(p.stage_of_block(b).is_some());
+        }
+        // Stage sizes differ by at most one (balanced split).
+        let sizes: Vec<usize> = p.stages.iter().map(|s| s.num_blocks).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn ls_pack_is_a_partition(blocks in 2usize..14, devices in 1usize..6, batch in 32usize..512) {
+        let w = Workload::synthetic(blocks, false);
+        let table = Profiler::new(CostModel::new(GpuModel::a6000()))
+            .profile(&w.model, batch, devices);
+        let a = ls::pack(&w, &table, devices, batch);
+        let mut all: Vec<usize> = a.device_blocks.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..blocks).collect::<Vec<_>>());
+        // Makespan bounds: at least total/devices, at least the max task.
+        let total: f64 = a.device_cost.iter().map(|c| c.as_secs_f64()).sum();
+        prop_assert!(a.makespan.as_secs_f64() >= total / devices as f64 - 1e-12);
+    }
+
+    #[test]
+    fn estimated_period_is_max_stage_time(blocks in 4usize..10) {
+        let w = Workload::synthetic(blocks, true);
+        let hw = HardwareConfig::a6000_server(4);
+        let table = Profiler::new(CostModel::new(hw.gpu.clone())).profile(&w.model, 256, 4);
+        for plan in enumerate_hybrid_plans(blocks, 4).into_iter().take(24) {
+            let per_stage = plan
+                .stages
+                .iter()
+                .map(|s| stage_time(s, &table, &w, &hw, 256))
+                .max()
+                .unwrap();
+            prop_assert_eq!(estimate_period(&plan, &table, &w, &hw, 256), per_stage);
+        }
+    }
+
+    #[test]
+    fn wider_stages_never_increase_memory_batch(width in 1usize..5) {
+        // device_batch is monotone non-increasing in width.
+        let s = pipebd_sched::Stage {
+            first_block: 0,
+            num_blocks: 1,
+            devices: (0..width).collect(),
+        };
+        let wider = pipebd_sched::Stage {
+            first_block: 0,
+            num_blocks: 1,
+            devices: (0..width + 1).collect(),
+        };
+        prop_assert!(wider.device_batch(256) <= s.device_batch(256));
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulated time.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in nanoseconds from simulation start.
+///
+/// Nanosecond integer ticks keep the event engine exactly deterministic
+/// (no float accumulation across hundreds of thousands of events).
+///
+/// # Example
+///
+/// ```
+/// use pipebd_sim::SimTime;
+///
+/// let t = SimTime::from_secs_f64(1.5e-3) + SimTime::from_us(500.0);
+/// assert!((t.as_secs_f64() - 2e-3).abs() < 1e-12);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From nanoseconds.
+    pub fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// From microseconds.
+    pub fn from_us(us: f64) -> Self {
+        SimTime((us * 1e3).round().max(0.0) as u64)
+    }
+
+    /// From seconds (f64; rounded to the nearest nanosecond).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime((secs * 1e9).round().max(0.0) as u64)
+    }
+
+    /// As seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// As nanoseconds.
+    pub fn as_ns(&self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 60.0 {
+            write!(f, "{}m {:.1}s", (s / 60.0) as u64, s % 60.0)
+        } else if s >= 1.0 {
+            write!(f, "{s:.2}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.2}ms", s * 1e3)
+        } else {
+            write!(f, "{:.1}us", s * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_secs_f64(2.5);
+        assert_eq!(t.as_ns(), 2_500_000_000);
+        assert!((t.as_secs_f64() - 2.5).abs() < 1e-12);
+        assert_eq!(SimTime::from_us(1.5).as_ns(), 1500);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(100);
+        let b = SimTime::from_ns(40);
+        assert_eq!((a + b).as_ns(), 140);
+        assert_eq!((a - b).as_ns(), 60);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let total: SimTime = [a, b].into_iter().sum();
+        assert_eq!(total.as_ns(), 140);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimTime::from_secs_f64(90.0)), "1m 30.0s");
+        assert_eq!(format!("{}", SimTime::from_secs_f64(2.0)), "2.00s");
+        assert_eq!(format!("{}", SimTime::from_us(1500.0)), "1.50ms");
+        assert_eq!(format!("{}", SimTime::from_us(2.0)), "2.0us");
+    }
+
+    #[test]
+    fn negative_inputs_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+    }
+}

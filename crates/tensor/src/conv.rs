@@ -1,0 +1,541 @@
+//! Grouped 2-D convolution kernels and their adjoints.
+//!
+//! A single grouped convolution covers all the convolution flavours the
+//! model zoo needs: `groups == 1` is an ordinary convolution, and
+//! `groups == in_channels` is a depthwise convolution (the first half of the
+//! DS-Conv replacement blocks from the paper's model-compression workload).
+//!
+//! All kernels are direct loops — slow, but exact, deterministic, and easy
+//! to verify against finite differences.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution.
+///
+/// Weights use layout `[out_channels, in_channels / groups, kernel, kernel]`;
+/// activations use `[batch, channels, height, width]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride along both spatial axes.
+    pub stride: usize,
+    /// Zero padding along both spatial axes.
+    pub padding: usize,
+    /// Channel groups (1 = dense, `in_channels` = depthwise).
+    pub groups: usize,
+}
+
+impl Conv2dSpec {
+    /// A dense (ungrouped) convolution spec.
+    pub fn dense(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Conv2dSpec {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            groups: 1,
+        }
+    }
+
+    /// A depthwise convolution spec (`groups == channels`).
+    pub fn depthwise(channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        Conv2dSpec {
+            in_channels: channels,
+            out_channels: channels,
+            kernel,
+            stride,
+            padding,
+            groups: channels,
+        }
+    }
+
+    /// Expected weight tensor dims: `[co, ci/groups, k, k]`.
+    pub fn weight_dims(&self) -> [usize; 4] {
+        [
+            self.out_channels,
+            self.in_channels / self.groups,
+            self.kernel,
+            self.kernel,
+        ]
+    }
+
+    /// Output spatial extent for an input extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the padded input is
+    /// smaller than the kernel.
+    pub fn out_extent(&self, extent: usize) -> Result<usize, TensorError> {
+        let padded = extent + 2 * self.padding;
+        if padded < self.kernel {
+            return Err(TensorError::invalid(format!(
+                "conv2d: padded input {padded} smaller than kernel {}",
+                self.kernel
+            )));
+        }
+        Ok((padded - self.kernel) / self.stride + 1)
+    }
+
+    /// Multiply-accumulate count for one sample at the given input extent.
+    ///
+    /// Used to keep the simulator's FLOP model and the executable models in
+    /// agreement.
+    pub fn flops_per_sample(&self, height: usize, width: usize) -> u64 {
+        let oh = (height + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
+        let ow = (width + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
+        // 2 ops (mul + add) per MAC.
+        2 * (self.out_channels as u64)
+            * (oh as u64)
+            * (ow as u64)
+            * ((self.in_channels / self.groups) as u64)
+            * (self.kernel as u64)
+            * (self.kernel as u64)
+    }
+
+    fn validate(&self, x: &Tensor, w: &Tensor) -> Result<(usize, usize, usize, usize), TensorError> {
+        if self.stride == 0 {
+            return Err(TensorError::invalid("conv2d: stride must be > 0"));
+        }
+        if self.groups == 0
+            || self.in_channels % self.groups != 0
+            || self.out_channels % self.groups != 0
+        {
+            return Err(TensorError::invalid(format!(
+                "conv2d: groups {} must divide in {} and out {}",
+                self.groups, self.in_channels, self.out_channels
+            )));
+        }
+        if x.shape().rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: x.shape().rank(),
+                op: "conv2d",
+            });
+        }
+        let [n, ci, h, wd] = [x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]];
+        if ci != self.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![n, self.in_channels, h, wd],
+                actual: x.dims().to_vec(),
+                op: "conv2d",
+            });
+        }
+        if w.dims() != self.weight_dims() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.weight_dims().to_vec(),
+                actual: w.dims().to_vec(),
+                op: "conv2d",
+            });
+        }
+        Ok((n, ci, h, wd))
+    }
+}
+
+/// Forward grouped 2-D convolution.
+///
+/// # Errors
+///
+/// Returns an error if the spec is inconsistent with the operand shapes or
+/// the padded input is smaller than the kernel.
+///
+/// # Example
+///
+/// ```
+/// use pipebd_tensor::{conv2d, Conv2dSpec, Tensor};
+///
+/// # fn main() -> Result<(), pipebd_tensor::TensorError> {
+/// // 3x3 identity-ish kernel on a 1-channel 4x4 image.
+/// let spec = Conv2dSpec::dense(1, 1, 3, 1, 1);
+/// let x = Tensor::ones(&[1, 1, 4, 4]);
+/// let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+/// w.set(&[0, 0, 1, 1], 1.0)?; // center tap
+/// let y = conv2d(&x, &w, spec)?;
+/// assert_eq!(y.dims(), &[1, 1, 4, 4]);
+/// assert_eq!(y.sum(), 16.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(x: &Tensor, w: &Tensor, spec: Conv2dSpec) -> Result<Tensor, TensorError> {
+    let (n, _ci, h, wd) = spec.validate(x, w)?;
+    let oh = spec.out_extent(h)?;
+    let ow = spec.out_extent(wd)?;
+    let cig = spec.in_channels / spec.groups;
+    let cog = spec.out_channels / spec.groups;
+    let k = spec.kernel;
+    let xd = x.data();
+    let wdta = w.data();
+    let mut out = vec![0.0f32; n * spec.out_channels * oh * ow];
+
+    for b in 0..n {
+        for g in 0..spec.groups {
+            for ocg in 0..cog {
+                let oc = g * cog + ocg;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for icg in 0..cig {
+                            let ic = g * cig + icg;
+                            let xbase = ((b * spec.in_channels + ic) * h) * wd;
+                            let wbase = ((oc * cig + icg) * k) * k;
+                            for ky in 0..k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if ix < 0 || ix >= wd as isize {
+                                        continue;
+                                    }
+                                    acc += xd[xbase + iy as usize * wd + ix as usize]
+                                        * wdta[wbase + ky * k + kx];
+                                }
+                            }
+                        }
+                        out[((b * spec.out_channels + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, spec.out_channels, oh, ow])
+}
+
+/// Gradient of the convolution output with respect to its input.
+///
+/// `dy` has the forward output's shape; the result has the forward input's
+/// shape.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent with `spec` and `input_hw`.
+pub fn conv2d_grad_input(
+    dy: &Tensor,
+    w: &Tensor,
+    spec: Conv2dSpec,
+    input_hw: (usize, usize),
+) -> Result<Tensor, TensorError> {
+    let (h, wd) = input_hw;
+    if w.dims() != spec.weight_dims() {
+        return Err(TensorError::ShapeMismatch {
+            expected: spec.weight_dims().to_vec(),
+            actual: w.dims().to_vec(),
+            op: "conv2d_grad_input",
+        });
+    }
+    if dy.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: dy.shape().rank(),
+            op: "conv2d_grad_input",
+        });
+    }
+    let n = dy.dims()[0];
+    let oh = spec.out_extent(h)?;
+    let ow = spec.out_extent(wd)?;
+    if dy.dims() != [n, spec.out_channels, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, spec.out_channels, oh, ow],
+            actual: dy.dims().to_vec(),
+            op: "conv2d_grad_input",
+        });
+    }
+    let cig = spec.in_channels / spec.groups;
+    let cog = spec.out_channels / spec.groups;
+    let k = spec.kernel;
+    let dyd = dy.data();
+    let wdta = w.data();
+    let mut dx = vec![0.0f32; n * spec.in_channels * h * wd];
+
+    for b in 0..n {
+        for g in 0..spec.groups {
+            for ocg in 0..cog {
+                let oc = g * cog + ocg;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = dyd[((b * spec.out_channels + oc) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        for icg in 0..cig {
+                            let ic = g * cig + icg;
+                            let xbase = ((b * spec.in_channels + ic) * h) * wd;
+                            let wbase = ((oc * cig + icg) * k) * k;
+                            for ky in 0..k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if ix < 0 || ix >= wd as isize {
+                                        continue;
+                                    }
+                                    dx[xbase + iy as usize * wd + ix as usize] +=
+                                        go * wdta[wbase + ky * k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(dx, &[n, spec.in_channels, h, wd])
+}
+
+/// Gradient of the convolution output with respect to the weights.
+///
+/// # Errors
+///
+/// Returns an error if shapes are inconsistent with `spec`.
+pub fn conv2d_grad_weight(
+    x: &Tensor,
+    dy: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    // Reuse forward validation for x; dy validated against derived extents.
+    let dummy_w = Tensor::zeros(&spec.weight_dims());
+    let (n, _ci, h, wd) = spec.validate(x, &dummy_w)?;
+    let oh = spec.out_extent(h)?;
+    let ow = spec.out_extent(wd)?;
+    if dy.dims() != [n, spec.out_channels, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, spec.out_channels, oh, ow],
+            actual: dy.dims().to_vec(),
+            op: "conv2d_grad_weight",
+        });
+    }
+    let cig = spec.in_channels / spec.groups;
+    let cog = spec.out_channels / spec.groups;
+    let k = spec.kernel;
+    let xd = x.data();
+    let dyd = dy.data();
+    let mut dw = vec![0.0f32; spec.out_channels * cig * k * k];
+
+    for b in 0..n {
+        for g in 0..spec.groups {
+            for ocg in 0..cog {
+                let oc = g * cog + ocg;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = dyd[((b * spec.out_channels + oc) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        for icg in 0..cig {
+                            let ic = g * cig + icg;
+                            let xbase = ((b * spec.in_channels + ic) * h) * wd;
+                            let wbase = ((oc * cig + icg) * k) * k;
+                            for ky in 0..k {
+                                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if ix < 0 || ix >= wd as isize {
+                                        continue;
+                                    }
+                                    dw[wbase + ky * k + kx] +=
+                                        go * xd[xbase + iy as usize * wd + ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(dw, &spec.weight_dims().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    /// Numerically differentiates `f` at `x[i]` via central differences.
+    fn numeric_grad(
+        f: &dyn Fn(&Tensor) -> f32,
+        x: &Tensor,
+        i: usize,
+        eps: f32,
+    ) -> f32 {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        (f(&xp) - f(&xm)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let spec = Conv2dSpec::dense(1, 1, 3, 1, 1);
+        let mut rng = Rng64::seed_from_u64(1);
+        let x = Tensor::randn(&[1, 1, 5, 5], &mut rng);
+        let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+        w.set(&[0, 0, 1, 1], 1.0).unwrap();
+        let y = conv2d(&x, &w, spec).unwrap();
+        assert!(y.allclose(&x, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn stride_two_halves_resolution() {
+        let spec = Conv2dSpec::dense(1, 2, 3, 2, 1);
+        let x = Tensor::ones(&[2, 1, 8, 8]);
+        let w = Tensor::ones(&[2, 1, 3, 3]);
+        let y = conv2d(&x, &w, spec).unwrap();
+        assert_eq!(y.dims(), &[2, 2, 4, 4]);
+    }
+
+    #[test]
+    fn depthwise_channels_independent() {
+        let spec = Conv2dSpec::depthwise(2, 3, 1, 1);
+        let mut x = Tensor::zeros(&[1, 2, 4, 4]);
+        // Put energy only in channel 0.
+        for h in 0..4 {
+            for w_ in 0..4 {
+                x.set(&[0, 0, h, w_], 1.0).unwrap();
+            }
+        }
+        let w = Tensor::ones(&[2, 1, 3, 3]);
+        let y = conv2d(&x, &w, spec).unwrap();
+        // Channel 1 of output must be zero (depthwise has no cross-talk).
+        for h in 0..4 {
+            for w_ in 0..4 {
+                assert_eq!(y.at(&[0, 1, h, w_]).unwrap(), 0.0);
+            }
+        }
+        assert!(y.at(&[0, 0, 1, 1]).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn grouped_conv_matches_blockdiag_dense() {
+        // A 2-group conv equals a dense conv with a block-diagonal kernel.
+        let mut rng = Rng64::seed_from_u64(2);
+        let x = Tensor::randn(&[2, 4, 5, 5], &mut rng);
+        let gspec = Conv2dSpec {
+            in_channels: 4,
+            out_channels: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 2,
+        };
+        let gw = Tensor::randn(&[4, 2, 3, 3], &mut rng);
+        let gy = conv2d(&x, &gw, gspec).unwrap();
+
+        let dspec = Conv2dSpec::dense(4, 4, 3, 1, 1);
+        let mut dw = Tensor::zeros(&[4, 4, 3, 3]);
+        for oc in 0..4 {
+            let g = oc / 2;
+            for icg in 0..2 {
+                let ic = g * 2 + icg;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        dw.set(&[oc, ic, ky, kx], gw.at(&[oc, icg, ky, kx]).unwrap())
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        let dy = conv2d(&x, &dw, dspec).unwrap();
+        assert!(gy.allclose(&dy, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn grad_input_matches_finite_differences() {
+        let spec = Conv2dSpec::dense(2, 3, 3, 2, 1);
+        let mut rng = Rng64::seed_from_u64(3);
+        let x = Tensor::randn(&[1, 2, 6, 6], &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        // Scalar objective: weighted sum of outputs (weights = fixed random).
+        let y0 = conv2d(&x, &w, spec).unwrap();
+        let probe = Tensor::randn(y0.dims(), &mut rng);
+        let f = |xt: &Tensor| {
+            conv2d(xt, &w, spec)
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum()
+        };
+        let dx = conv2d_grad_input(&probe, &w, spec, (6, 6)).unwrap();
+        for &i in &[0usize, 7, 20, 35, 71] {
+            let num = numeric_grad(&f, &x, i, 1e-2);
+            let ana = dx.data()[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "dx[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_weight_matches_finite_differences() {
+        let spec = Conv2dSpec::depthwise(2, 3, 1, 1);
+        let mut rng = Rng64::seed_from_u64(4);
+        let x = Tensor::randn(&[2, 2, 5, 5], &mut rng);
+        let w = Tensor::randn(&[2, 1, 3, 3], &mut rng);
+        let y0 = conv2d(&x, &w, spec).unwrap();
+        let probe = Tensor::randn(y0.dims(), &mut rng);
+        let f = |wt: &Tensor| {
+            conv2d(&x, wt, spec)
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum()
+        };
+        let dw = conv2d_grad_weight(&x, &probe, spec).unwrap();
+        for i in 0..dw.numel() {
+            let num = numeric_grad(&f, &w, i, 1e-2);
+            let ana = dw.data()[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "dw[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let spec = Conv2dSpec::dense(2, 2, 3, 1, 1);
+        let x = Tensor::zeros(&[1, 3, 4, 4]); // wrong channels
+        let w = Tensor::zeros(&[2, 2, 3, 3]);
+        assert!(conv2d(&x, &w, spec).is_err());
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        let wbad = Tensor::zeros(&[2, 2, 5, 5]); // wrong kernel
+        assert!(conv2d(&x, &wbad, spec).is_err());
+        let bad = Conv2dSpec {
+            stride: 0,
+            ..spec
+        };
+        assert!(conv2d(&x, &w, bad).is_err());
+    }
+
+    #[test]
+    fn flops_counting_sane() {
+        let spec = Conv2dSpec::dense(3, 8, 3, 1, 1);
+        // 2 * co * oh * ow * ci * k * k = 2*8*4*4*3*9 = 6912
+        assert_eq!(spec.flops_per_sample(4, 4), 6912);
+        let dw = Conv2dSpec::depthwise(8, 3, 1, 1);
+        // 2 * 8 * 16 * 1 * 9
+        assert_eq!(dw.flops_per_sample(4, 4), 2 * 8 * 16 * 9);
+    }
+}

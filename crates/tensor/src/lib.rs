@@ -1,0 +1,49 @@
+//! Minimal CPU tensor library for the Pipe-BD reproduction.
+//!
+//! This crate provides the numerical substrate used by the *functional* side
+//! of the reproduction: real (scaled-down) blockwise-distillation training
+//! that demonstrates the paper's Section VII-D claim that Pipe-BD scheduling
+//! does not change training results.
+//!
+//! The design goals are determinism, correctness, and testability — not
+//! BLAS-level throughput. All kernels are written as explicit loops with a
+//! hand-written adjoint ("backward") kernel next to each forward kernel, and
+//! every adjoint is validated against finite differences in the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use pipebd_tensor::{Tensor, Rng64};
+//!
+//! # fn main() -> Result<(), pipebd_tensor::TensorError> {
+//! let mut rng = Rng64::seed_from_u64(7);
+//! let a = Tensor::randn(&[2, 3], &mut rng);
+//! let b = Tensor::randn(&[3, 4], &mut rng);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape().dims(), &[2, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod linalg;
+mod pool;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, Conv2dSpec};
+pub use error::TensorError;
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, MaxPoolIndices,
+};
+pub use rng::Rng64;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,556 @@
+use std::fmt;
+
+use crate::error::TensorError;
+use crate::rng::Rng64;
+use crate::shape::Shape;
+
+/// A dense, row-major, `f32` tensor.
+///
+/// `Tensor` owns its storage. Operations come in two flavours: methods that
+/// allocate a result, and `_inplace`/`_assign` methods that mutate `self`
+/// (used on hot paths like optimizer updates).
+///
+/// # Example
+///
+/// ```
+/// use pipebd_tensor::Tensor;
+///
+/// # fn main() -> Result<(), pipebd_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = a.map(|x| x * 2.0);
+/// assert_eq!(b.data(), &[2.0, 4.0, 6.0, 8.0]);
+/// assert_eq!(a.sum(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Builds a tensor from a buffer and shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the number of elements implied by `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        if shape.numel() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+                op: "from_vec",
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Standard-normal-initialized tensor.
+    pub fn randn(dims: &[usize], rng: &mut Rng64) -> Self {
+        let mut t = Tensor::zeros(dims);
+        rng.fill_normal(&mut t.data);
+        t
+    }
+
+    /// Uniform-initialized tensor in `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Rng64) -> Self {
+        let mut t = Tensor::zeros(dims);
+        rng.fill_uniform(&mut t.data, lo, hi);
+        t
+    }
+
+    /// Kaiming/He normal initialization for a weight tensor with the given
+    /// fan-in (suitable for ReLU networks).
+    pub fn kaiming(dims: &[usize], fan_in: usize, rng: &mut Rng64) -> Self {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        let mut t = Tensor::zeros(dims);
+        for v in &mut t.data {
+            *v = rng.normal_with(0.0, std);
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The extents as a slice (shorthand for `shape().dims()`).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index validation failures from [`Shape::offset`].
+    pub fn at(&self, index: &[usize]) -> Result<f32, TensorError> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index validation failures from [`Shape::offset`].
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
+        let shape = Shape::new(dims);
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: self.data.len(),
+                op: "reshape",
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise combination of two same-shape tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
+        self.check_same_shape(other, "zip")?;
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// `self += other`, elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<(), TensorError> {
+        self.check_same_shape(other, "add_assign")?;
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// `self += alpha * other` (axpy), elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), TensorError> {
+        self.check_same_shape(other, "axpy")?;
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Sets every element to zero (buffer reuse for gradient accumulators).
+    pub fn fill(&mut self, value: f32) {
+        for v in &mut self.data {
+            *v = value;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for empty tensors).
+    pub fn max_value(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Squared L2 norm of the tensor.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Index of the maximum element (first on ties); `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Maximum absolute difference against another tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
+        self.check_same_shape(other, "max_abs_diff")?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Whether all elements are within `tol` of another tensor's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> Result<bool, TensorError> {
+        Ok(self.max_abs_diff(other)? <= tol)
+    }
+
+    /// Splits a batched tensor (axis 0) into `parts` nearly-equal chunks.
+    ///
+    /// The first `numel % parts` chunks get one extra row, mirroring how a
+    /// data-parallel runtime shards a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `parts == 0`, the tensor
+    /// is rank-0, or there are fewer rows than parts.
+    pub fn split_batch(&self, parts: usize) -> Result<Vec<Tensor>, TensorError> {
+        if parts == 0 {
+            return Err(TensorError::invalid("split_batch: parts must be > 0"));
+        }
+        if self.shape.rank() == 0 {
+            return Err(TensorError::invalid("split_batch: tensor is rank-0"));
+        }
+        let batch = self.shape.dim(0);
+        if batch < parts {
+            return Err(TensorError::invalid(format!(
+                "split_batch: cannot split batch {batch} into {parts} parts"
+            )));
+        }
+        let row = self.numel() / batch;
+        let base = batch / parts;
+        let extra = batch % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for p in 0..parts {
+            let rows = base + usize::from(p < extra);
+            let mut dims = self.shape.dims().to_vec();
+            dims[0] = rows;
+            let data = self.data[start * row..(start + rows) * row].to_vec();
+            out.push(Tensor {
+                shape: Shape::new(&dims),
+                data,
+            });
+            start += rows;
+        }
+        Ok(out)
+    }
+
+    /// Concatenates tensors along axis 0. All non-batch dims must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `parts` is empty, or
+    /// [`TensorError::ShapeMismatch`] if trailing dimensions differ.
+    pub fn cat_batch(parts: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::invalid("cat_batch: no tensors given"))?;
+        let tail = &first.dims()[1..];
+        let mut batch = 0usize;
+        for p in parts {
+            if &p.dims()[1..] != tail {
+                return Err(TensorError::ShapeMismatch {
+                    expected: first.dims().to_vec(),
+                    actual: p.dims().to_vec(),
+                    op: "cat_batch",
+                });
+            }
+            batch += p.dims()[0];
+        }
+        let mut dims = first.dims().to_vec();
+        dims[0] = batch;
+        let mut data = Vec::with_capacity(Shape::new(&dims).numel());
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Ok(Tensor {
+            shape: Shape::new(&dims),
+            data,
+        })
+    }
+
+    fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<(), TensorError> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape.dims().to_vec(),
+                actual: other.shape.dims().to_vec(),
+                op,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.numel() <= 16 {
+            write!(f, "Tensor({}, {:?})", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor({}, [{} elements, sum {:.4}])",
+                self.shape,
+                self.numel(),
+                self.sum()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 2]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[3]).sum(), 3.0);
+        assert_eq!(Tensor::full(&[2], 2.5).data(), &[2.5, 2.5]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 2]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 4], &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 7.0).unwrap();
+        assert_eq!(t.at(&[1, 2]).unwrap(), 7.0);
+        assert_eq!(t.at(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn elementwise_math() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(matches!(
+            a.add(&b),
+            Err(TensorError::ShapeMismatch { op: "zip", .. })
+        ));
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let g = Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap();
+        a.axpy(-0.5, &g).unwrap();
+        assert_eq!(a.data(), &[0.0, -1.0]);
+        a.scale(3.0);
+        assert_eq!(a.data(), &[0.0, -3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        assert_eq!(t.sum(), 2.0);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.max_value(), 3.0);
+        assert_eq!(t.argmax(), Some(2));
+        assert_eq!(t.sq_norm(), 14.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let r = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(r.at(&[1, 0]).unwrap(), 3.0);
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn split_and_cat_roundtrip() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[6, 4]).unwrap();
+        let parts = t.split_batch(4).unwrap();
+        assert_eq!(parts.len(), 4);
+        // 6 rows into 4 parts: 2, 2, 1, 1.
+        assert_eq!(parts[0].dims(), &[2, 4]);
+        assert_eq!(parts[2].dims(), &[1, 4]);
+        let whole = Tensor::cat_batch(&parts).unwrap();
+        assert_eq!(whole, t);
+    }
+
+    #[test]
+    fn split_batch_validations() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(t.split_batch(0).is_err());
+        assert!(t.split_batch(3).is_err());
+    }
+
+    #[test]
+    fn allclose_and_diff() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.1], &[2]).unwrap();
+        assert!((a.max_abs_diff(&b).unwrap() - 0.1).abs() < 1e-6);
+        assert!(a.allclose(&b, 0.2).unwrap());
+        assert!(!a.allclose(&b, 0.05).unwrap());
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let w = Tensor::kaiming(&[64, 64], 64, &mut rng);
+        let std = (w.sq_norm() / w.numel() as f32).sqrt();
+        let expected = (2.0f32 / 64.0).sqrt();
+        assert!((std - expected).abs() < 0.02, "std {std} vs {expected}");
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", Tensor::zeros(&[2])).is_empty());
+        assert!(!format!("{:?}", Tensor::zeros(&[100])).is_empty());
+    }
+}

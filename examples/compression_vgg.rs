@@ -1,0 +1,93 @@
+//! Model-compression workload: distill a miniature dense-conv teacher into
+//! a DS-Conv student (the paper's VGG-16 → DS-Conv setting) under every
+//! Pipe-BD schedule, then show the paper-scale timing comparison for
+//! Compression/ImageNet.
+//!
+//! Run with: `cargo run --example compression_vgg --release`
+
+use pipe_bd::core::exec::{reference, threaded, FuncConfig};
+use pipe_bd::core::{ExperimentBuilder, Strategy};
+use pipe_bd::data::SyntheticImageDataset;
+use pipe_bd::models::{mini_student_dsconv, mini_teacher, MiniConfig};
+use pipe_bd::sched::StagePlan;
+use pipe_bd::sim::HardwareConfig;
+use pipe_bd::tensor::Rng64;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Functional: one distillation, four schedules, same weights. ----
+    let cfg = MiniConfig {
+        blocks: 4,
+        channels: 8,
+        batch_norm: false,
+    };
+    let mut rng = Rng64::seed_from_u64(23);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let student = mini_student_dsconv(cfg, &mut rng);
+    let data = SyntheticImageDataset::mini(256, 8, 4, 9);
+
+    let base = FuncConfig {
+        devices: 4,
+        steps: 25,
+        batch: 8,
+        lr: 0.05,
+        momentum: 0.9,
+        plan: None,
+        decoupled_updates: true,
+    };
+    let golden = reference::run(&teacher, &student, &data, &base)?;
+
+    let schedules: Vec<(&str, FuncConfig)> = vec![
+        (
+            "TR (barrier)",
+            FuncConfig {
+                decoupled_updates: false,
+                ..base.clone()
+            },
+        ),
+        ("TR+DPU", base.clone()),
+        (
+            "TR+DPU+AHD (hybrid 2-way split)",
+            FuncConfig {
+                plan: Some(StagePlan::from_widths(&[(1, 2), (3, 2)], 4, 4)?),
+                ..base.clone()
+            },
+        ),
+        (
+            "TR+IR (internal relaying)",
+            FuncConfig {
+                plan: Some(StagePlan::internal_relaying(4, 4)),
+                ..base.clone()
+            },
+        ),
+    ];
+    println!("miniature compression distillation (4 blocks, 4 device threads):");
+    for (name, cfg) in schedules {
+        let out = threaded::run(&teacher, &student, &data, &cfg)?;
+        println!(
+            "  {name:32} final losses {:?}  max diff vs definition {:.2e}",
+            out.final_losses()
+                .iter()
+                .map(|l| format!("{l:.4}"))
+                .collect::<Vec<_>>(),
+            out.max_param_diff(&golden),
+        );
+    }
+
+    // --- Paper scale: Compression/ImageNet epoch times. -----------------
+    let e = ExperimentBuilder::compression_imagenet()
+        .hardware(HardwareConfig::a6000_server(4))
+        .build()?;
+    println!("\nCompression/ImageNet on 4x A6000 (simulated epoch):");
+    let dp = e.run(Strategy::DataParallel)?;
+    for s in Strategy::ALL {
+        if let Ok(r) = e.run(s) {
+            println!(
+                "  {:11} {:8.0}s  ({:.2}x over DP)",
+                s.label(),
+                r.epoch_time_s(),
+                r.speedup_over(&dp)
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! NAS workload end-to-end: run a miniature blockwise supernet search
+//! under the threaded Pipe-BD executor (arch parameters train alongside
+//! weights), select the final architecture, and report the simulated
+//! multi-GPU schedule the same search would use at paper scale.
+//!
+//! Run with: `cargo run --example nas_search --release`
+
+use pipe_bd::core::exec::{threaded, FuncConfig};
+use pipe_bd::core::{ExperimentBuilder, Strategy};
+use pipe_bd::data::SyntheticImageDataset;
+use pipe_bd::models::{mini_student_supernet, mini_teacher, MiniConfig};
+use pipe_bd::nn::{Layer, ParamKind};
+use pipe_bd::sim::HardwareConfig;
+use pipe_bd::tensor::Rng64;
+
+const CANDIDATE_NAMES: [&str; 3] = ["conv3x3", "conv5x5", "dsconv3x3"];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Miniature blockwise supernet search (real training). ----------
+    let cfg = MiniConfig {
+        blocks: 4,
+        channels: 8,
+        batch_norm: false,
+    };
+    let mut rng = Rng64::seed_from_u64(11);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let supernet = mini_student_supernet(cfg, &mut rng);
+    let data = SyntheticImageDataset::mini(256, 8, 4, 5);
+    let func = FuncConfig {
+        devices: 4,
+        steps: 40,
+        batch: 8,
+        lr: 0.05,
+        momentum: 0.9,
+        decoupled_updates: true,
+        plan: None,
+    };
+    let outcome = threaded::run(&teacher, &supernet, &data, &func)?;
+    println!("blockwise supernet search, 4 device threads, 40 steps");
+    println!(
+        "final distillation loss per block: {:?}",
+        outcome
+            .final_losses()
+            .iter()
+            .map(|l| format!("{l:.4}"))
+            .collect::<Vec<_>>()
+    );
+
+    // Architecture selection: per block, the candidate with the highest
+    // architecture parameter wins (the paper's Section VI-A procedure).
+    println!("selected architecture:");
+    for (i, params) in outcome.params.iter().enumerate() {
+        // The arch parameter is the MixedOp's trailing [k]-shaped tensor;
+        // find it by shape (3 candidates).
+        let alpha = params
+            .iter()
+            .find(|t| t.dims() == [3])
+            .expect("supernet blocks carry an arch parameter");
+        let best = alpha.argmax().expect("nonempty");
+        println!(
+            "  block {i}: {}  (alpha = {:?})",
+            CANDIDATE_NAMES[best],
+            alpha
+                .data()
+                .iter()
+                .map(|v| format!("{v:+.3}"))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // Sanity: the supernet blocks do carry arch params (kind check).
+    let mut probe = mini_student_supernet(cfg, &mut rng);
+    let mut kinds = Vec::new();
+    probe.block_mut(0).visit_params(&mut |p| kinds.push(p.kind));
+    assert!(kinds.contains(&ParamKind::Arch));
+
+    // --- Paper-scale schedule for the same workload. --------------------
+    let experiment = ExperimentBuilder::nas_imagenet()
+        .hardware(HardwareConfig::a6000_server(4))
+        .build()?;
+    let decision = experiment.ahd_decision();
+    println!("\nat paper scale (NAS/ImageNet, 4x A6000) AHD would schedule:");
+    println!("  {}  (estimated step period {})", decision.plan, decision.estimate);
+    let report = experiment.run(Strategy::PipeBd)?;
+    let dp = experiment.run(Strategy::DataParallel)?;
+    println!(
+        "  simulated epoch {:.0}s vs DP {:.0}s -> {:.2}x",
+        report.epoch_time_s(),
+        dp.epoch_time_s(),
+        report.speedup_over(&dp)
+    );
+    Ok(())
+}

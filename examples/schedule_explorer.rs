@@ -1,0 +1,49 @@
+//! Schedule explorer: enumerate the whole AHD plan space for a workload,
+//! rank plans by estimated step period, and render Gantt charts of the
+//! best plan and the naive contiguous plan side by side.
+//!
+//! Run with: `cargo run --example schedule_explorer --release [blocks]`
+
+use pipe_bd::core::{ExperimentBuilder, Strategy};
+use pipe_bd::models::Workload;
+use pipe_bd::sched::hybrid_plan_count;
+use pipe_bd::sim::HardwareConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hw = HardwareConfig::a6000_server(4);
+    let workload = Workload::nas_imagenet();
+    let b = workload.num_blocks();
+    let experiment = ExperimentBuilder::new(workload)
+        .hardware(hw.clone())
+        .batch_size(256)
+        .build()?;
+
+    let decision = experiment.ahd_decision();
+    println!(
+        "plan space for B={b} blocks on N={} devices: {} plans (closed form {})",
+        hw.num_gpus,
+        decision.evaluated.len(),
+        hybrid_plan_count(b, hw.num_gpus),
+    );
+
+    let mut ranked = decision.evaluated.clone();
+    ranked.sort_by_key(|(_, est)| *est);
+    println!("\ntop 5 plans by estimated step period:");
+    for (plan, est) in ranked.iter().take(5) {
+        println!("  {est}  {plan}");
+    }
+    println!("\nbottom 3 (worst) plans:");
+    for (plan, est) in ranked.iter().rev().take(3) {
+        println!("  {est}  {plan}");
+    }
+
+    println!("\nchosen plan: {}", decision.plan);
+    println!("\nPipe-BD (TR+DPU+AHD) schedule, 4 rounds:");
+    print!("{}", experiment.gantt(Strategy::PipeBd, 110)?);
+    println!("\nplain TR+DPU (contiguous) schedule, 4 rounds:");
+    print!("{}", experiment.gantt(Strategy::TrDpu, 110)?);
+    println!("\nDP baseline schedule, 4 rounds of the first two phases:");
+    print!("{}", experiment.gantt(Strategy::DataParallel, 110)?);
+    println!("(digits = teacher block, letters = student block, L = load, U = update, g = grad-share)");
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration: the paper's Section VII-D claim.
+//!
+//! Pipe-BD only reschedules blockwise distillation; it must never change
+//! the trained result. These tests run *real* training — tensors, conv
+//! kernels, SGD — under every scheduling strategy on device threads and
+//! compare against the scheduling-free sequential definition.
+
+use pipe_bd::core::exec::{reference, threaded, FuncConfig};
+use pipe_bd::data::SyntheticImageDataset;
+use pipe_bd::models::{
+    mini_student_dsconv, mini_student_supernet, mini_teacher, MiniConfig,
+};
+use pipe_bd::nn::BlockNet;
+use pipe_bd::sched::StagePlan;
+use pipe_bd::tensor::Rng64;
+
+fn setup(blocks: usize, supernet: bool) -> (BlockNet, BlockNet, SyntheticImageDataset) {
+    let cfg = MiniConfig {
+        blocks,
+        channels: 6,
+        batch_norm: false,
+    };
+    let mut rng = Rng64::seed_from_u64(99);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let student = if supernet {
+        mini_student_supernet(cfg, &mut rng)
+    } else {
+        mini_student_dsconv(cfg, &mut rng)
+    };
+    let data = SyntheticImageDataset::mini(128, 8, 4, 17);
+    (teacher, student, data)
+}
+
+fn base_cfg() -> FuncConfig {
+    FuncConfig {
+        devices: 4,
+        steps: 8,
+        batch: 8,
+        lr: 0.05,
+        momentum: 0.9,
+        plan: None,
+        decoupled_updates: true,
+    }
+}
+
+#[test]
+fn teacher_relaying_is_bitwise_faithful() {
+    let (teacher, student, data) = setup(4, false);
+    let cfg = FuncConfig {
+        decoupled_updates: false,
+        ..base_cfg()
+    };
+    let golden = reference::run(&teacher, &student, &data, &cfg).expect("reference");
+    let tr = threaded::run(&teacher, &student, &data, &cfg).expect("threaded TR");
+    assert_eq!(tr.max_param_diff(&golden), 0.0);
+    assert_eq!(tr.losses, golden.losses);
+}
+
+#[test]
+fn decoupled_update_is_bitwise_faithful() {
+    let (teacher, student, data) = setup(4, false);
+    let cfg = base_cfg();
+    let golden = reference::run(&teacher, &student, &data, &cfg).expect("reference");
+    let dpu = threaded::run(&teacher, &student, &data, &cfg).expect("threaded DPU");
+    assert_eq!(dpu.max_param_diff(&golden), 0.0);
+}
+
+#[test]
+fn hybrid_distribution_matches_within_float_reassociation() {
+    let (teacher, student, data) = setup(4, false);
+    let cfg = FuncConfig {
+        plan: Some(StagePlan::from_widths(&[(1, 2), (3, 2)], 4, 4).expect("valid plan")),
+        ..base_cfg()
+    };
+    let golden = reference::run(&teacher, &student, &data, &cfg).expect("reference");
+    let hybrid = threaded::run(&teacher, &student, &data, &cfg).expect("threaded hybrid");
+    // Gradient averaging reorders float sums; anything beyond that is a bug.
+    assert!(hybrid.max_param_diff(&golden) < 1e-4);
+}
+
+#[test]
+fn internal_relaying_matches_within_float_reassociation() {
+    let (teacher, student, data) = setup(4, false);
+    let cfg = FuncConfig {
+        plan: Some(StagePlan::internal_relaying(4, 4)),
+        ..base_cfg()
+    };
+    let golden = reference::run(&teacher, &student, &data, &cfg).expect("reference");
+    let ir = threaded::run(&teacher, &student, &data, &cfg).expect("threaded IR");
+    assert!(ir.max_param_diff(&golden) < 1e-4);
+}
+
+#[test]
+fn nas_supernet_parity_with_arch_params() {
+    // The NAS student carries architecture parameters; scheduling must not
+    // disturb them either.
+    let (teacher, supernet, data) = setup(4, true);
+    let cfg = base_cfg();
+    let golden = reference::run(&teacher, &supernet, &data, &cfg).expect("reference");
+    let dpu = threaded::run(&teacher, &supernet, &data, &cfg).expect("threaded");
+    assert_eq!(dpu.max_param_diff(&golden), 0.0);
+}
+
+#[test]
+fn all_schedules_agree_with_each_other() {
+    let (teacher, student, data) = setup(3, false);
+    let mut cfg = FuncConfig {
+        devices: 3,
+        steps: 6,
+        batch: 6,
+        ..base_cfg()
+    };
+    let barrier = threaded::run(&teacher, &student, &data, &{
+        let mut c = cfg.clone();
+        c.decoupled_updates = false;
+        c
+    })
+    .expect("barrier");
+    let dpu = threaded::run(&teacher, &student, &data, &cfg).expect("dpu");
+    cfg.plan = Some(StagePlan::internal_relaying(3, 3));
+    let ir = threaded::run(&teacher, &student, &data, &cfg).expect("ir");
+    assert_eq!(dpu.max_param_diff(&barrier), 0.0);
+    assert!(ir.max_param_diff(&barrier) < 1e-4);
+}
+
+#[test]
+fn losses_converge_under_every_schedule() {
+    let (teacher, student, data) = setup(4, false);
+    for (name, plan, dpu) in [
+        ("tr", None, false),
+        ("dpu", None, true),
+        (
+            "hybrid",
+            Some(StagePlan::from_widths(&[(2, 2), (2, 2)], 4, 4).expect("valid")),
+            true,
+        ),
+        ("ir", Some(StagePlan::internal_relaying(4, 4)), true),
+    ] {
+        let cfg = FuncConfig {
+            steps: 30,
+            plan,
+            decoupled_updates: dpu,
+            ..base_cfg()
+        };
+        let out = threaded::run(&teacher, &student, &data, &cfg).expect(name);
+        for (i, losses) in out.losses.iter().enumerate() {
+            assert!(
+                losses.last().unwrap() < losses.first().unwrap(),
+                "{name}: block {i} did not converge"
+            );
+        }
+    }
+}
