@@ -20,7 +20,14 @@ fn bench_fig7(c: &mut Criterion) {
                 None,
                 None,
             ));
-            black_box(memory_per_rank(Strategy::TrDpu, &w, 4, 256, Some(&plan), None));
+            black_box(memory_per_rank(
+                Strategy::TrDpu,
+                &w,
+                4,
+                256,
+                Some(&plan),
+                None,
+            ));
             black_box(memory_per_rank(Strategy::TrIr, &w, 4, 256, None, None));
         })
     });

@@ -62,7 +62,13 @@ fn main() {
     // Baseline: rank 0 is representative (DP ranks are symmetric).
     let (l, t, s, i) = dp.epoch_breakdown_row(0);
     rows.push(("Baseline (DP)".into(), l, t, s, i));
-    rows.push(("Ideal".into(), ideal_load, ideal_teacher, ideal_student, 0.0));
+    rows.push((
+        "Ideal".into(),
+        ideal_load,
+        ideal_teacher,
+        ideal_student,
+        0.0,
+    ));
     for rank in 0..hw.num_gpus {
         let (l, t, s, i) = pb.epoch_breakdown_row(rank);
         rows.push((format!("Pipe-BD rank{rank}"), l, t, s, i));

@@ -17,7 +17,10 @@ fn main() {
     );
 
     let panels = [
-        ("(a) NAS", vec![Workload::nas_cifar10(), Workload::nas_imagenet()]),
+        (
+            "(a) NAS",
+            vec![Workload::nas_cifar10(), Workload::nas_imagenet()],
+        ),
         (
             "(b) Model Compression",
             vec![

@@ -46,7 +46,10 @@ fn main() {
     for (name, hw) in &servers {
         let e = experiment(Workload::nas_imagenet(), hw.clone(), 256);
         let decision = e.ahd_decision();
-        println!("\n({}) {name} schedule chosen by AHD:", if *name == "2080Ti" { 'b' } else { 'c' });
+        println!(
+            "\n({}) {name} schedule chosen by AHD:",
+            if *name == "2080Ti" { 'b' } else { 'c' }
+        );
         println!("  plan     : {}", decision.plan);
         println!("  est/step : {}", decision.estimate);
         let chart = e

@@ -35,18 +35,14 @@ fn main() {
             print!(" {b:>8}");
         }
         println!();
-        let mut table: Vec<(Strategy, Vec<f64>)> =
-            SHOWN.iter().map(|&s| (s, Vec::new())).collect();
+        let mut table: Vec<(Strategy, Vec<f64>)> = SHOWN.iter().map(|&s| (s, Vec::new())).collect();
         for &batch in &BATCHES {
             let e = experiment(workload.clone(), hw.clone(), batch);
             let dp = e
                 .run(Strategy::DataParallel)
                 .expect("DP lowers at all batch sizes");
             for (s, row) in &mut table {
-                let x = e
-                    .run(*s)
-                    .map(|r| r.speedup_over(&dp))
-                    .unwrap_or(f64::NAN);
+                let x = e.run(*s).map(|r| r.speedup_over(&dp)).unwrap_or(f64::NAN);
                 row.push(x);
             }
         }
@@ -58,7 +54,11 @@ fn main() {
             println!();
         }
         // The paper's two trends, verified here:
-        let pipe_row = &table.iter().find(|(s, _)| *s == Strategy::PipeBd).unwrap().1;
+        let pipe_row = &table
+            .iter()
+            .find(|(s, _)| *s == Strategy::PipeBd)
+            .unwrap()
+            .1;
         match panel {
             "(a) CIFAR-10" => {
                 // Speedups are better at smaller batch (utilization gap).

@@ -78,7 +78,11 @@ fn main() {
         println!(
             "  Pipe-BD avg overhead over DP: {:+.1}%  (paper: {} )",
             100.0 * pb.memory_overhead_over(&dp),
-            if panel.contains("CIFAR") { "+8.7%" } else { "+21.3%" },
+            if panel.contains("CIFAR") {
+                "+8.7%"
+            } else {
+                "+21.3%"
+            },
         );
         println!(
             "  AHD flattens rank 0: TR+DPU rank0 {:.2} GiB -> Pipe-BD rank0 {:.2} GiB",

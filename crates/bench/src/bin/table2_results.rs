@@ -24,7 +24,10 @@ fn main() {
     let hw = HardwareConfig::a6000_server(4);
     header(
         "Table II — Parallel blockwise distillation training results",
-        &format!("{}, batch 256; times are one extrapolated epoch", hw.label()),
+        &format!(
+            "{}, batch 256; times are one extrapolated epoch",
+            hw.label()
+        ),
     );
 
     println!(

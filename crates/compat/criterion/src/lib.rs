@@ -1,0 +1,145 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! fixed-budget wall-clock loop instead of criterion's statistical
+//! machinery. Each benchmark prints one line
+//! (`<id> ... time: <mean per iteration>`) to stderr.
+//!
+//! The measurement budget is intentionally small (see
+//! [`Criterion::default`]) so `cargo bench` finishes quickly; treat the
+//! numbers as smoke-level timings, not publishable statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Target wall-clock budget per benchmark.
+    measurement_time: Duration,
+    /// Maximum number of timed iterations per benchmark.
+    max_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(300),
+            max_iters: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark named `id` and prints its mean time.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.as_ref();
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            max_iters: self.max_iters,
+            mean: None,
+        };
+        f(&mut b);
+        match b.mean {
+            Some(mean) => eprintln!("{id:<50} time: {mean:?}"),
+            None => eprintln!("{id:<50} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` as `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Accepted for compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock budget for subsequent benchmarks in the group.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.measurement_time = budget;
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Times a routine; handed to the closure of `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    max_iters: u64,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly (one warm-up, then until the time budget
+    /// or iteration cap is reached) and records the mean duration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.max_iters && (iters == 0 || started.elapsed() < self.budget) {
+            black_box(routine());
+            iters += 1;
+        }
+        self.mean = Some(started.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX));
+    }
+}
+
+/// Bundles benchmark functions into a callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,37 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! report types so they are ready for a real serialization backend, but
+//! no code path actually serializes yet (there is no `serde_json` in the
+//! tree). This shim therefore provides the two traits with blanket
+//! implementations — every type trivially satisfies any
+//! `T: Serialize` / `T: Deserialize` bound — plus no-op derive macros,
+//! keeping the source-level API identical to the real crate so it can be
+//! swapped in without touching any call site.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module path.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module path.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The real derives generate `Serialize`/`Deserialize` trait
+//! implementations. The shim `serde` crate (see `crates/compat/serde`)
+//! provides blanket implementations of both traits instead, so these
+//! derives only need to *accept* the same syntax — including
+//! `#[serde(...)]` helper attributes — and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -4,7 +4,7 @@
 //! This module exists to demonstrate the paper's Section VII-D claim
 //! mechanically: Pipe-BD reschedules *when* things execute but never
 //! changes *what* is computed, so every strategy reaches the same trained
-//! student. The [`reference`] module provides the golden sequential
+//! student. The [`mod@reference`] module provides the golden sequential
 //! semantics; [`threaded`] runs the real multi-threaded pipeline; the
 //! parity tests compare final parameters.
 

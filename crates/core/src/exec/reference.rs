@@ -29,7 +29,9 @@ pub fn run(
     let mut teacher = teacher.clone();
     let mut student = student.clone();
     let b = teacher.num_blocks();
-    let mut optims: Vec<Sgd> = (0..b).map(|_| Sgd::new(cfg.lr, cfg.momentum, 0.0)).collect();
+    let mut optims: Vec<Sgd> = (0..b)
+        .map(|_| Sgd::new(cfg.lr, cfg.momentum, 0.0))
+        .collect();
     let mut losses = vec![Vec::with_capacity(cfg.steps); b];
 
     for step in 0..cfg.steps {

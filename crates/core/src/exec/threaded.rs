@@ -114,8 +114,9 @@ pub fn run(
     }
     let plan = match &cfg.plan {
         Some(p) => p.clone(),
-        None => StagePlan::contiguous(b, cfg.devices)
-            .map_err(|e| ExecError::Config(e.to_string()))?,
+        None => {
+            StagePlan::contiguous(b, cfg.devices).map_err(|e| ExecError::Config(e.to_string()))?
+        }
     };
     plan.validate()
         .map_err(|e| ExecError::Config(e.to_string()))?;
@@ -385,8 +386,7 @@ fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(),
             .grad_from_members
             .as_ref()
             .expect("leader has a gather channel");
-        let mut contributions: Vec<Option<(Vec<Vec<Tensor>>, Vec<f32>)>> =
-            vec![None; role.width];
+        let mut contributions: Vec<Option<(Vec<Vec<Tensor>>, Vec<f32>)>> = vec![None; role.width];
         contributions[0] = Some((local, step_losses.to_vec()));
         for _ in 1..role.width {
             let (member, grads, l) = rx

@@ -106,10 +106,7 @@ impl ExperimentBuilder {
                 self.batch, self.hw.num_gpus
             )));
         }
-        self.workload
-            .model
-            .validate()
-            .map_err(ExperimentError)?;
+        self.workload.model.validate().map_err(ExperimentError)?;
         Ok(Experiment {
             workload: self.workload,
             hw: self.hw,
@@ -271,7 +268,10 @@ mod tests {
 
     #[test]
     fn ahd_decision_matches_pipe_bd_run_plan() {
-        let e = ExperimentBuilder::nas_imagenet().sim_rounds(4).build().unwrap();
+        let e = ExperimentBuilder::nas_imagenet()
+            .sim_rounds(4)
+            .build()
+            .unwrap();
         let d = e.ahd_decision();
         let r = e.run(Strategy::PipeBd).unwrap();
         assert_eq!(Some(d.plan), r.plan);

@@ -27,8 +27,8 @@
 #![warn(missing_docs)]
 
 pub mod exec;
-pub mod lower;
 mod experiment;
+pub mod lower;
 mod memory;
 mod report;
 mod strategy;

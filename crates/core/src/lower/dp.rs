@@ -37,8 +37,7 @@ pub fn lower(l: &Lowering<'_>) -> Lowered {
             for d in 0..n {
                 // The whole teacher prefix 0..=phase, fused into one task
                 // (its duration is the sum of the per-block times).
-                let prefix: pipebd_sim::SimTime =
-                    (0..=phase).map(|k| l.teacher(k, shard)).sum();
+                let prefix: pipebd_sim::SimTime = (0..=phase).map(|k| l.teacher(k, shard)).sum();
                 let teach = g.add_tagged(
                     Resource::Gpu(d),
                     TaskKind::Teacher,
@@ -130,9 +129,7 @@ mod tests {
         let lowered = lower(&l);
         let run = simulate(&lowered.graph);
         let bd = Breakdown::from_run(&lowered.graph, &run);
-        let one_pass: f64 = (0..6)
-            .map(|k| l.teacher(k, 64).as_secs_f64())
-            .sum();
+        let one_pass: f64 = (0..6).map(|k| l.teacher(k, 64).as_secs_f64()).sum();
         let simulated = bd.ranks[0].teacher.as_secs_f64();
         assert!(
             simulated > 3.0 * one_pass,

@@ -81,14 +81,18 @@ fn append_validation_pass(l: &Lowering<'_>, plan: &StagePlan, graph: &mut TaskGr
     let all_last: Vec<TaskId> = last_per_device.iter().flatten().copied().collect();
     let shard = l.batch.div_ceil(graph.num_gpus());
     for d in 0..graph.num_gpus() {
-        let sync = graph.add(Resource::Gpu(d), TaskKind::Sync, SimTime::ZERO, all_last.clone());
+        let sync = graph.add(
+            Resource::Gpu(d),
+            TaskKind::Sync,
+            SimTime::ZERO,
+            all_last.clone(),
+        );
         // Validation: full model forward (teacher reference + student) on
         // this device's shard.
         let eval_time: SimTime = (0..plan.num_blocks)
             .map(|b| {
                 // Student eval forward ≈ one third of fwd+bwd cost.
-                let stu_fwd =
-                    SimTime::from_secs_f64(l.student(b, shard).as_secs_f64() / 3.0);
+                let stu_fwd = SimTime::from_secs_f64(l.student(b, shard).as_secs_f64() / 3.0);
                 l.teacher(b, shard) + stu_fwd
             })
             .sum();

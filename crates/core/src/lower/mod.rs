@@ -160,10 +160,7 @@ mod tests {
         // round count, so makespans at equal `rounds` are comparable
         // directly (DP's graph already contains all B phases).
         let hw = HardwareConfig::a6000_server(4);
-        for w in [
-            Workload::nas_cifar10(),
-            Workload::compression_cifar10(),
-        ] {
+        for w in [Workload::nas_cifar10(), Workload::compression_cifar10()] {
             let l = ctx(&w, &hw);
             let dp = simulate(&lower(&l, Strategy::DataParallel).unwrap().graph).makespan;
             let pb = simulate(&lower(&l, Strategy::PipeBd).unwrap().graph).makespan;

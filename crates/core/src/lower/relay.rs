@@ -22,8 +22,8 @@ use super::{Lowered, Lowering, PREFETCH_DEPTH};
 /// Returns an error if there are fewer blocks than devices (plain TR
 /// cannot batch-split; the paper's AHD exists for exactly that reason).
 pub fn lower_contiguous(l: &Lowering<'_>, dpu: bool) -> Result<Lowered, String> {
-    let plan = StagePlan::contiguous(l.workload.num_blocks(), l.hw.num_gpus)
-        .map_err(|e| e.to_string())?;
+    let plan =
+        StagePlan::contiguous(l.workload.num_blocks(), l.hw.num_gpus).map_err(|e| e.to_string())?;
     Ok(lower_plan(l, &plan, dpu))
 }
 
@@ -103,8 +103,7 @@ pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
                 // copy engine).
                 let last_block = stage.first_block + stage.num_blocks - 1;
                 if last_block + 1 < plan.num_blocks {
-                    let bytes =
-                        l.workload.model.blocks[last_block].boundary_bytes() * db as u64;
+                    let bytes = l.workload.model.blocks[last_block].boundary_bytes() * db as u64;
                     let send = g.add_tagged(
                         Resource::Copy(d),
                         TaskKind::Comm,
@@ -297,8 +296,7 @@ mod tests {
         let hw = HardwareConfig::a6000_server(4);
         let l = ctx(&w, &hw, 24);
         let plan = StagePlan::contiguous(6, 4).unwrap();
-        let table =
-            Profiler::new(l.cost.clone()).profile(&w.model, 256, 4);
+        let table = Profiler::new(l.cost.clone()).profile(&w.model, 256, 4);
         let analytic = pipebd_sched::estimate_period(&plan, &table, &w, &hw, 256);
         let simulated = simulated_period(&l, &plan, true, 8);
         let ratio = simulated.as_secs_f64() / analytic.as_secs_f64();
@@ -347,7 +345,10 @@ mod tests {
                     .iter()
                     .filter(|d| lowered.graph.task(**d).kind == TaskKind::Student)
                     .count();
-                assert!(stu_deps >= 4, "barrier update has only {stu_deps} student deps");
+                assert!(
+                    stu_deps >= 4,
+                    "barrier update has only {stu_deps} student deps"
+                );
                 found += 1;
             }
         }

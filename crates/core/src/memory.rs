@@ -196,7 +196,10 @@ mod tests {
         // the big feature maps at full batch).
         let plan = StagePlan::contiguous(6, 4).unwrap();
         let mem = nas_imagenet_memory(Strategy::TrDpu, Some(&plan));
-        assert!(mem[0] > mem[1] && mem[0] > mem[2] && mem[0] > mem[3], "{mem:?}");
+        assert!(
+            mem[0] > mem[1] && mem[0] > mem[2] && mem[0] > mem[3],
+            "{mem:?}"
+        );
     }
 
     #[test]

@@ -175,10 +175,7 @@ mod tests {
     fn model() -> BlockModel {
         let input = ActShape::new(3, 8, 8);
         let t0 = StackSpec::new(vec![LayerSpec::conv(8, 3, 1)]);
-        let s0 = StackSpec::new(vec![
-            LayerSpec::depthwise(3, 3, 1),
-            LayerSpec::pointwise(8),
-        ]);
+        let s0 = StackSpec::new(vec![LayerSpec::depthwise(3, 3, 1), LayerSpec::pointwise(8)]);
         let b0 = BlockDescriptor::from_stacks("b0", input, &t0, &s0);
         let t1 = StackSpec::new(vec![LayerSpec::conv(16, 3, 2)]);
         let s1 = StackSpec::new(vec![

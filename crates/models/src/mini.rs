@@ -7,9 +7,7 @@
 //! They exist to demonstrate the paper's Section VII-D claim: Pipe-BD
 //! scheduling changes *when* updates happen, never *what* they compute.
 
-use pipebd_nn::{
-    BatchNorm2d, Block, BlockNet, Conv2d, Layer, MixedOp, Relu, Sequential,
-};
+use pipebd_nn::{BatchNorm2d, Block, BlockNet, Conv2d, Layer, MixedOp, Relu, Sequential};
 use pipebd_tensor::Rng64;
 
 /// Configuration for the miniature model family.
@@ -50,7 +48,9 @@ fn teacher_block(cfg: MiniConfig, index: usize, rng: &mut Rng64) -> Block {
 /// Builds a miniature pretrained-style teacher: `blocks` conv blocks of
 /// uniform width.
 pub fn mini_teacher(cfg: MiniConfig, rng: &mut Rng64) -> BlockNet {
-    (0..cfg.blocks).map(|i| teacher_block(cfg, i, rng)).collect()
+    (0..cfg.blocks)
+        .map(|i| teacher_block(cfg, i, rng))
+        .collect()
 }
 
 /// Builds a miniature DS-Conv student with the same block boundaries as
@@ -85,10 +85,8 @@ pub fn mini_student_supernet(cfg: MiniConfig, rng: &mut Rng64) -> BlockNet {
                     Box::new(Conv2d::pointwise(in_c, cfg.channels, rng)),
                 ])),
             ];
-            let layers: Vec<Box<dyn Layer>> = vec![
-                Box::new(MixedOp::new(candidates)),
-                Box::new(Relu::new()),
-            ];
+            let layers: Vec<Box<dyn Layer>> =
+                vec![Box::new(MixedOp::new(candidates)), Box::new(Relu::new())];
             Block::new(format!("n{i}"), Sequential::new(layers))
         })
         .collect()
@@ -119,14 +117,10 @@ mod tests {
             };
             let d = ds.block_mut(i).forward(&prev, Mode::Eval);
             let n = nas.block_mut(i).forward(&prev, Mode::Eval);
-            // Block 0 takes 3-channel input; others take channel-wide input.
-            if i == 0 {
-                assert_eq!(d.unwrap().dims(), t.dims());
-                assert_eq!(n.unwrap().dims(), t.dims());
-            } else {
-                assert_eq!(d.unwrap().dims(), t.dims());
-                assert_eq!(n.unwrap().dims(), t.dims());
-            }
+            // Every block (3-channel input for block 0, channel-wide
+            // input otherwise) must match the teacher boundary shape.
+            assert_eq!(d.unwrap().dims(), t.dims());
+            assert_eq!(n.unwrap().dims(), t.dims());
         }
     }
 

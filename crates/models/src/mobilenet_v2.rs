@@ -56,13 +56,48 @@ pub fn stages(variant: InputVariant) -> Vec<Stage> {
         InputVariant::Cifar => [1, 1, 2, 2, 1, 2, 1],
     };
     vec![
-        Stage { expand: 1, out_c: 16, repeats: 1, stride: s[0] },
-        Stage { expand: 6, out_c: 24, repeats: 2, stride: s[1] },
-        Stage { expand: 6, out_c: 32, repeats: 3, stride: s[2] },
-        Stage { expand: 6, out_c: 64, repeats: 4, stride: s[3] },
-        Stage { expand: 6, out_c: 96, repeats: 3, stride: s[4] },
-        Stage { expand: 6, out_c: 160, repeats: 3, stride: s[5] },
-        Stage { expand: 6, out_c: 320, repeats: 1, stride: s[6] },
+        Stage {
+            expand: 1,
+            out_c: 16,
+            repeats: 1,
+            stride: s[0],
+        },
+        Stage {
+            expand: 6,
+            out_c: 24,
+            repeats: 2,
+            stride: s[1],
+        },
+        Stage {
+            expand: 6,
+            out_c: 32,
+            repeats: 3,
+            stride: s[2],
+        },
+        Stage {
+            expand: 6,
+            out_c: 64,
+            repeats: 4,
+            stride: s[3],
+        },
+        Stage {
+            expand: 6,
+            out_c: 96,
+            repeats: 3,
+            stride: s[4],
+        },
+        Stage {
+            expand: 6,
+            out_c: 160,
+            repeats: 3,
+            stride: s[5],
+        },
+        Stage {
+            expand: 6,
+            out_c: 320,
+            repeats: 1,
+            stride: s[6],
+        },
     ]
 }
 
@@ -71,7 +106,13 @@ fn stage_layers(in_c: usize, stage: Stage, kernel: usize) -> (Vec<LayerSpec>, us
     let mut cur = in_c;
     for r in 0..stage.repeats {
         let stride = if r == 0 { stage.stride } else { 1 };
-        layers.extend(inverted_residual(cur, stage.out_c, stage.expand, kernel, stride));
+        layers.extend(inverted_residual(
+            cur,
+            stage.out_c,
+            stage.expand,
+            kernel,
+            stride,
+        ));
         cur = stage.out_c;
     }
     (layers, cur)
@@ -136,7 +177,9 @@ pub fn teacher_blocks(variant: InputVariant) -> Vec<StackSpec> {
 /// The per-block output channel counts at the distillation boundaries
 /// (shared with the student supernet so boundary shapes match).
 pub fn boundary_channels() -> [usize; 6] {
-    [16, 24, 32, 64, 96, 0 /* classifier, see teacher_blocks */]
+    [
+        16, 24, 32, 64, 96, 0, /* classifier, see teacher_blocks */
+    ]
 }
 
 #[cfg(test)]

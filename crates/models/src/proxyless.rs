@@ -147,12 +147,14 @@ pub fn supernet_blocks(variant: InputVariant) -> Vec<SupernetBlockSpec> {
 
     // Block 0: fixed stem + stage-1 searchable layer. The stem is shared
     // with the teacher macro-architecture (standard in ProxylessNAS).
-    let mut b0 = SupernetBlockSpec::default();
-    b0.tail = StackSpec::new(vec![
-        LayerSpec::conv(32, 3, stem_stride),
-        LayerSpec::BatchNorm,
-        LayerSpec::Relu,
-    ]);
+    let b0 = SupernetBlockSpec {
+        tail: StackSpec::new(vec![
+            LayerSpec::conv(32, 3, stem_stride),
+            LayerSpec::BatchNorm,
+            LayerSpec::Relu,
+        ]),
+        ..SupernetBlockSpec::default()
+    };
     // Move the stem into `layers` position by treating it as a 1-candidate
     // mixed layer so the searchable stage-1 layer can follow it.
     let stem = MixedLayerSpec {
@@ -324,8 +326,18 @@ mod tests {
         let m = MixedLayerSpec::mbconv_choices(16, 16, 1);
         let c = m.cost(ActShape::new(16, 16, 16));
         let shape = ActShape::new(16, 16, 16);
-        let min = m.candidates.iter().map(|x| x.cost(shape).macs).min().unwrap();
-        let max = m.candidates.iter().map(|x| x.cost(shape).macs).max().unwrap();
+        let min = m
+            .candidates
+            .iter()
+            .map(|x| x.cost(shape).macs)
+            .min()
+            .unwrap();
+        let max = m
+            .candidates
+            .iter()
+            .map(|x| x.cost(shape).macs)
+            .max()
+            .unwrap();
         assert!((min..=max).contains(&c.macs), "mean path within bounds");
         let param_sum: u64 = m.candidates.iter().map(|x| x.cost(shape).params).sum();
         assert_eq!(c.params, param_sum, "all candidates stay resident");

@@ -173,10 +173,7 @@ impl BlockNet {
 
     /// Total parameter count over all blocks.
     pub fn param_count(&mut self) -> usize {
-        self.blocks
-            .iter_mut()
-            .map(|b| crate::param_count(b))
-            .sum()
+        self.blocks.iter_mut().map(|b| crate::param_count(b)).sum()
     }
 }
 

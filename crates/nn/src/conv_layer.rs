@@ -50,7 +50,11 @@ impl Conv2d {
 
     /// Creates a pointwise 1×1 convolution.
     pub fn pointwise(in_channels: usize, out_channels: usize, rng: &mut Rng64) -> Self {
-        Conv2d::from_spec(Conv2dSpec::dense(in_channels, out_channels, 1, 1, 0), true, rng)
+        Conv2d::from_spec(
+            Conv2dSpec::dense(in_channels, out_channels, 1, 1, 0),
+            true,
+            rng,
+        )
     }
 
     /// Creates a convolution from an explicit [`Conv2dSpec`].

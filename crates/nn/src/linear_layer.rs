@@ -16,7 +16,11 @@ impl Linear {
     /// Creates a linear layer with Kaiming-normal weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, rng: &mut Rng64) -> Self {
         Linear {
-            weight: Param::weight(Tensor::kaiming(&[in_features, out_features], in_features, rng)),
+            weight: Param::weight(Tensor::kaiming(
+                &[in_features, out_features],
+                in_features,
+                rng,
+            )),
             bias: Param::weight(Tensor::zeros(&[out_features])),
             cache: None,
         }
@@ -35,7 +39,9 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
-        let y = x.matmul(&self.weight.value)?.add_bias_rows(&self.bias.value)?;
+        let y = x
+            .matmul(&self.weight.value)?
+            .add_bias_rows(&self.bias.value)?;
         if mode == Mode::Train {
             self.cache = Some(x.clone());
         }
@@ -97,8 +103,18 @@ mod tests {
             xp.data_mut()[i] += 1e-3;
             let mut xm = x.clone();
             xm.data_mut()[i] -= 1e-3;
-            let fp = l.forward(&xp, Mode::Eval).unwrap().mul(&probe).unwrap().sum();
-            let fm = l.forward(&xm, Mode::Eval).unwrap().mul(&probe).unwrap().sum();
+            let fp = l
+                .forward(&xp, Mode::Eval)
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum();
+            let fm = l
+                .forward(&xm, Mode::Eval)
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum();
             let num = (fp - fm) / 2e-3;
             assert!(
                 (num - dx.data()[i]).abs() < 1e-2,
@@ -126,8 +142,18 @@ mod tests {
                     p.value.data_mut()[i] -= 1e-3;
                 }
             });
-            let fp = lp.forward(&x, Mode::Eval).unwrap().mul(&probe).unwrap().sum();
-            let fm = lm.forward(&x, Mode::Eval).unwrap().mul(&probe).unwrap().sum();
+            let fp = lp
+                .forward(&x, Mode::Eval)
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum();
+            let fm = lm
+                .forward(&x, Mode::Eval)
+                .unwrap()
+                .mul(&probe)
+                .unwrap()
+                .sum();
             let num = (fp - fm) / 2e-3;
             assert!(
                 (num - dw.data()[i]).abs() < 1e-2,

@@ -159,8 +159,7 @@ mod tests {
             sp.data_mut()[i] += 1e-3;
             let mut sm = s.clone();
             sm.data_mut()[i] -= 1e-3;
-            let num =
-                (mse_loss(&sp, &t).unwrap().loss - mse_loss(&sm, &t).unwrap().loss) / 2e-3;
+            let num = (mse_loss(&sp, &t).unwrap().loss - mse_loss(&sm, &t).unwrap().loss) / 2e-3;
             assert!((num - l.grad.data()[i]).abs() < 1e-3);
         }
     }
@@ -207,8 +206,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let logits =
-            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
         let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
     }

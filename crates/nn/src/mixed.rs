@@ -33,7 +33,10 @@ impl MixedOp {
     ///
     /// Panics if `candidates` is empty.
     pub fn new(candidates: Vec<Box<dyn Layer>>) -> Self {
-        assert!(!candidates.is_empty(), "MixedOp needs at least one candidate");
+        assert!(
+            !candidates.is_empty(),
+            "MixedOp needs at least one candidate"
+        );
         let k = candidates.len();
         MixedOp {
             candidates,

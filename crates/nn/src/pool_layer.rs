@@ -159,7 +159,9 @@ mod tests {
     fn max_pool_layer_routes_gradient() {
         let mut l = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(
-            vec![4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 9.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            vec![
+                4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 9.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

@@ -59,8 +59,11 @@ mod tests {
     use crate::profile::Profiler;
 
     fn decide(workload: &Workload, hw: &HardwareConfig, batch: usize) -> AhdDecision {
-        let table =
-            Profiler::new(CostModel::new(hw.gpu.clone())).profile(&workload.model, batch, hw.num_gpus);
+        let table = Profiler::new(CostModel::new(hw.gpu.clone())).profile(
+            &workload.model,
+            batch,
+            hw.num_gpus,
+        );
         search(workload, &table, hw, batch)
     }
 
@@ -105,7 +108,12 @@ mod tests {
         let w = Workload::nas_cifar10();
         let hw = HardwareConfig::a6000_server(4);
         let d = decide(&w, &hw, 256);
-        let split_width: usize = d.plan.stages.iter().map(|s| s.width().saturating_sub(1)).sum();
+        let split_width: usize = d
+            .plan
+            .stages
+            .iter()
+            .map(|s| s.width().saturating_sub(1))
+            .sum();
         assert!(
             split_width <= 2,
             "CIFAR should not split aggressively, chose {}",
@@ -136,6 +144,9 @@ mod tests {
         // …and the paper observes a *wider* early split on A6000.
         let a_w = a.plan.stage_of_block(0).unwrap().width();
         let t_w = t.plan.stage_of_block(0).unwrap().width();
-        assert!(a_w >= t_w, "A6000 split {a_w} should be ≥ 2080Ti split {t_w}");
+        assert!(
+            a_w >= t_w,
+            "A6000 split {a_w} should be ≥ 2080Ti split {t_w}"
+        );
     }
 }

@@ -35,8 +35,9 @@ impl CostModel {
     /// Teacher forward duration for one block at a per-device batch.
     pub fn teacher_time(&self, desc: &BlockDescriptor, batch: usize) -> SimTime {
         let macs = desc.teacher_macs * batch as u64;
-        let bytes = 4 * (batch as u64 * (desc.in_shape.elems() + desc.teacher_act_elems)
-            + desc.teacher_params);
+        let bytes = 4
+            * (batch as u64 * (desc.in_shape.elems() + desc.teacher_act_elems)
+                + desc.teacher_params);
         self.gpu.exec_time(
             macs,
             bytes,
@@ -50,8 +51,9 @@ impl CostModel {
     /// batch (backward ≈ 2× forward, hence the factor 3).
     pub fn student_time(&self, desc: &BlockDescriptor, batch: usize) -> SimTime {
         let macs = 3 * desc.student_macs * batch as u64;
-        let bytes = 4 * (3 * batch as u64 * (desc.in_shape.elems() + desc.student_act_elems)
-            + 3 * desc.student_params);
+        let bytes = 4
+            * (3 * batch as u64 * (desc.in_shape.elems() + desc.student_act_elems)
+                + 3 * desc.student_params);
         self.gpu.exec_time(
             macs,
             bytes,
@@ -65,8 +67,7 @@ impl CostModel {
     /// parameters, gradients, and momentum).
     pub fn update_time(&self, desc: &BlockDescriptor) -> SimTime {
         let bytes = desc.student_state_bytes();
-        SimTime::from_secs_f64(bytes as f64 / self.gpu.mem_bw)
-            + self.gpu.launch_overhead
+        SimTime::from_secs_f64(bytes as f64 / self.gpu.mem_bw) + self.gpu.launch_overhead
     }
 
     /// Teacher time summed over several blocks.
@@ -126,12 +127,7 @@ mod tests {
         let w = Workload::nas_cifar10();
         let cm = model();
         let all: SimTime = cm.teacher_time_blocks(&w.model.blocks, 128);
-        let parts: SimTime = w
-            .model
-            .blocks
-            .iter()
-            .map(|b| cm.teacher_time(b, 128))
-            .sum();
+        let parts: SimTime = w.model.blocks.iter().map(|b| cm.teacher_time(b, 128)).sum();
         assert_eq!(all, parts);
     }
 
@@ -142,12 +138,14 @@ mod tests {
         let w = Workload::nas_imagenet();
         let cm = model();
         let pair_time = |i: usize| {
-            cm.teacher_time(&w.model.blocks[i], 256)
-                + cm.student_time(&w.model.blocks[i], 256)
+            cm.teacher_time(&w.model.blocks[i], 256) + cm.student_time(&w.model.blocks[i], 256)
         };
         let b0 = pair_time(0);
         for i in 1..w.num_blocks() {
-            assert!(pair_time(i) < b0, "block {i} should be lighter than block 0");
+            assert!(
+                pair_time(i) < b0,
+                "block {i} should be lighter than block 0"
+            );
         }
     }
 }

@@ -122,9 +122,7 @@ mod tests {
         ghost.first_block = 1; // same blocks count, no loading
         let without_load_blocks: SimTime = ghost
             .blocks()
-            .map(|b| {
-                table.teacher_time(b, 256) + table.student_time(b, 256) + table.update_time(b)
-            })
+            .map(|b| table.teacher_time(b, 256) + table.student_time(b, 256) + table.update_time(b))
             .sum();
         assert!(with_load > without_load_blocks);
     }

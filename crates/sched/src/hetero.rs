@@ -74,12 +74,7 @@ pub struct HeteroDecision {
 }
 
 /// Time one member of a stage takes for its shard on its own GPU.
-fn member_time(
-    cost: &CostModel,
-    workload: &Workload,
-    stage: &Stage,
-    shard: usize,
-) -> SimTime {
+fn member_time(cost: &CostModel, workload: &Workload, stage: &Stage, shard: usize) -> SimTime {
     let mut t = SimTime::ZERO;
     for b in stage.blocks() {
         let desc = &workload.model.blocks[b];
@@ -124,7 +119,10 @@ pub fn proportional_split(
         .enumerate()
         .map(|(i, s)| (i, batch as f64 * s / total_speed))
         .collect();
-    let mut alloc: Vec<usize> = shares.iter().map(|(_, x)| (x.floor() as usize).max(1)).collect();
+    let mut alloc: Vec<usize> = shares
+        .iter()
+        .map(|(_, x)| (x.floor() as usize).max(1))
+        .collect();
     let mut assigned: usize = alloc.iter().sum();
     // Fix rounding drift: hand out remaining samples by largest remainder,
     // or claw back from the smallest remainders.

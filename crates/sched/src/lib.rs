@@ -41,9 +41,9 @@ mod plan;
 mod profile;
 
 pub use ahd::AhdDecision;
-pub use hetero::{HeteroDecision, HeteroServer};
 pub use cost::CostModel;
 pub use estimate::{estimate_period, stage_time};
+pub use hetero::{HeteroDecision, HeteroServer};
 pub use ls::LsAssignment;
 pub use plan::{
     compositions, enumerate_hybrid_plans, hybrid_plan_count, InvalidPlan, Stage, StagePlan,

@@ -81,7 +81,12 @@ impl Profiler {
     /// Profiles every block of `model` at the feasible per-device batches
     /// for a global batch on up to `num_devices` devices:
     /// `{⌈batch/m⌉ : m = 1..=num_devices}`.
-    pub fn profile(&self, model: &BlockModel, global_batch: usize, num_devices: usize) -> ProfileTable {
+    pub fn profile(
+        &self,
+        model: &BlockModel,
+        global_batch: usize,
+        num_devices: usize,
+    ) -> ProfileTable {
         let mut batch_sizes: Vec<usize> = (1..=num_devices)
             .map(|m| global_batch.div_ceil(m))
             .collect();

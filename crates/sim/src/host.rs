@@ -57,7 +57,8 @@ impl HostModel {
     /// Non-overlappable consumer-side cost for one batch: collate plus the
     /// host-to-device copy of the batch tensor.
     pub fn consume_time(&self, samples: usize, batch_bytes: u64, pcie: &PcieModel) -> SimTime {
-        SimTime::from_us(samples as f64 * self.collate_us_per_sample) + pcie.transfer_time(batch_bytes)
+        SimTime::from_us(samples as f64 * self.collate_us_per_sample)
+            + pcie.transfer_time(batch_bytes)
     }
 }
 

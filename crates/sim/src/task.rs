@@ -132,7 +132,11 @@ impl TaskGraph {
     ) -> TaskId {
         match resource {
             Resource::Gpu(i) | Resource::Copy(i) => {
-                assert!(i < self.num_gpus, "resource names GPU {i} of {}", self.num_gpus)
+                assert!(
+                    i < self.num_gpus,
+                    "resource names GPU {i} of {}",
+                    self.num_gpus
+                )
             }
             Resource::Loader => {}
         }
@@ -190,8 +194,18 @@ mod tests {
     #[test]
     fn add_and_query() {
         let mut g = TaskGraph::new(2);
-        let a = g.add(Resource::Gpu(0), TaskKind::Teacher, SimTime::from_ns(10), vec![]);
-        let b = g.add(Resource::Gpu(1), TaskKind::Student, SimTime::from_ns(5), vec![a]);
+        let a = g.add(
+            Resource::Gpu(0),
+            TaskKind::Teacher,
+            SimTime::from_ns(10),
+            vec![],
+        );
+        let b = g.add(
+            Resource::Gpu(1),
+            TaskKind::Student,
+            SimTime::from_ns(5),
+            vec![a],
+        );
         assert_eq!(g.len(), 2);
         assert_eq!(g.task(b).deps, vec![a]);
         assert_eq!(g.task(a).kind, TaskKind::Teacher);

@@ -45,7 +45,12 @@ fn build(tasks: &[RandTask]) -> TaskGraph {
         } else {
             Resource::Gpu(t.gpu)
         };
-        ids.push(g.add(resource, TaskKind::Teacher, SimTime::from_ns(t.dur_ns), deps));
+        ids.push(g.add(
+            resource,
+            TaskKind::Teacher,
+            SimTime::from_ns(t.dur_ns),
+            deps,
+        ));
     }
     g
 }

@@ -105,7 +105,11 @@ impl Conv2dSpec {
             * (self.kernel as u64)
     }
 
-    fn validate(&self, x: &Tensor, w: &Tensor) -> Result<(usize, usize, usize, usize), TensorError> {
+    fn validate(
+        &self,
+        x: &Tensor,
+        w: &Tensor,
+    ) -> Result<(usize, usize, usize, usize), TensorError> {
         if self.stride == 0 {
             return Err(TensorError::invalid("conv2d: stride must be > 0"));
         }
@@ -363,7 +367,7 @@ pub fn conv2d_grad_weight(
             }
         }
     }
-    Tensor::from_vec(dw, &spec.weight_dims().to_vec())
+    Tensor::from_vec(dw, &spec.weight_dims())
 }
 
 #[cfg(test)]
@@ -372,12 +376,7 @@ mod tests {
     use crate::rng::Rng64;
 
     /// Numerically differentiates `f` at `x[i]` via central differences.
-    fn numeric_grad(
-        f: &dyn Fn(&Tensor) -> f32,
-        x: &Tensor,
-        i: usize,
-        eps: f32,
-    ) -> f32 {
+    fn numeric_grad(f: &dyn Fn(&Tensor) -> f32, x: &Tensor, i: usize, eps: f32) -> f32 {
         let mut xp = x.clone();
         xp.data_mut()[i] += eps;
         let mut xm = x.clone();
@@ -469,13 +468,7 @@ mod tests {
         // Scalar objective: weighted sum of outputs (weights = fixed random).
         let y0 = conv2d(&x, &w, spec).unwrap();
         let probe = Tensor::randn(y0.dims(), &mut rng);
-        let f = |xt: &Tensor| {
-            conv2d(xt, &w, spec)
-                .unwrap()
-                .mul(&probe)
-                .unwrap()
-                .sum()
-        };
+        let f = |xt: &Tensor| conv2d(xt, &w, spec).unwrap().mul(&probe).unwrap().sum();
         let dx = conv2d_grad_input(&probe, &w, spec, (6, 6)).unwrap();
         for &i in &[0usize, 7, 20, 35, 71] {
             let num = numeric_grad(&f, &x, i, 1e-2);
@@ -495,13 +488,7 @@ mod tests {
         let w = Tensor::randn(&[2, 1, 3, 3], &mut rng);
         let y0 = conv2d(&x, &w, spec).unwrap();
         let probe = Tensor::randn(y0.dims(), &mut rng);
-        let f = |wt: &Tensor| {
-            conv2d(&x, wt, spec)
-                .unwrap()
-                .mul(&probe)
-                .unwrap()
-                .sum()
-        };
+        let f = |wt: &Tensor| conv2d(&x, wt, spec).unwrap().mul(&probe).unwrap().sum();
         let dw = conv2d_grad_weight(&x, &probe, spec).unwrap();
         for i in 0..dw.numel() {
             let num = numeric_grad(&f, &w, i, 1e-2);
@@ -522,10 +509,7 @@ mod tests {
         let x = Tensor::zeros(&[1, 2, 4, 4]);
         let wbad = Tensor::zeros(&[2, 2, 5, 5]); // wrong kernel
         assert!(conv2d(&x, &wbad, spec).is_err());
-        let bad = Conv2dSpec {
-            stride: 0,
-            ..spec
-        };
+        let bad = Conv2dSpec { stride: 0, ..spec };
         assert!(conv2d(&x, &w, bad).is_err());
     }
 

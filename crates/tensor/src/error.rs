@@ -73,7 +73,10 @@ impl fmt::Display for TensorError {
                 expected,
                 actual,
                 op,
-            } => write!(f, "rank mismatch in {op}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "rank mismatch in {op}: expected {expected}, got {actual}"
+            ),
             TensorError::InvalidArgument { message } => {
                 write!(f, "invalid argument: {message}")
             }

@@ -34,7 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         .iter()
                         .map(|&d| server.gpus[d].name.as_str())
                         .collect();
-                    println!("    split  : blocks {:?} -> {:?} on {:?}", stage.blocks(), split, gpus);
+                    println!(
+                        "    split  : blocks {:?} -> {:?} on {:?}",
+                        stage.blocks(),
+                        split,
+                        gpus
+                    );
                 }
             }
         }

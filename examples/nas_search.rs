@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let decision = experiment.ahd_decision();
     println!("\nat paper scale (NAS/ImageNet, 4x A6000) AHD would schedule:");
-    println!("  {}  (estimated step period {})", decision.plan, decision.estimate);
+    println!(
+        "  {}  (estimated step period {})",
+        decision.plan, decision.estimate
+    );
     let report = experiment.run(Strategy::PipeBd)?;
     let dp = experiment.run(Strategy::DataParallel)?;
     println!(

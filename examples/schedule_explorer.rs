@@ -11,7 +11,17 @@ use pipe_bd::sim::HardwareConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hw = HardwareConfig::a6000_server(4);
-    let workload = Workload::nas_imagenet();
+    // Optional argument: explore a synthetic workload with that many
+    // blocks instead of the default NAS/ImageNet workload.
+    let workload = match std::env::args().nth(1) {
+        Some(arg) => {
+            let blocks: usize = arg
+                .parse()
+                .map_err(|_| format!("expected a block count, got {arg:?}"))?;
+            Workload::synthetic(blocks, true)
+        }
+        None => Workload::nas_imagenet(),
+    };
     let b = workload.num_blocks();
     let experiment = ExperimentBuilder::new(workload)
         .hardware(hw.clone())
@@ -44,6 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", experiment.gantt(Strategy::TrDpu, 110)?);
     println!("\nDP baseline schedule, 4 rounds of the first two phases:");
     print!("{}", experiment.gantt(Strategy::DataParallel, 110)?);
-    println!("(digits = teacher block, letters = student block, L = load, U = update, g = grad-share)");
+    println!(
+        "(digits = teacher block, letters = student block, L = load, U = update, g = grad-share)"
+    );
     Ok(())
 }

@@ -13,7 +13,7 @@
 //! * [`sched`] — stage plans, profiling, and the AHD plan search.
 //! * [`data`] — dataset descriptors and synthetic datasets.
 //! * [`core`] — the Pipe-BD strategies, simulator lowering, threaded
-//!   functional executor, and the [`core::Trainer`] facade.
+//!   functional executor, and the [`core::Experiment`] facade.
 //!
 //! # Quickstart
 //!

@@ -72,7 +72,10 @@ fn student_inherits_teacher_accuracy_through_pipe_bd_distillation() {
         let (x, labels) = data.batch(step * 16, 16);
         let mut act = x.clone();
         for i in 0..teacher.num_blocks() {
-            act = teacher.block_mut(i).forward(&act, Mode::Train).expect("fwd");
+            act = teacher
+                .block_mut(i)
+                .forward(&act, Mode::Train)
+                .expect("fwd");
         }
         let logits = head.head.forward(&act, Mode::Train).expect("head");
         let loss = cross_entropy_loss(&logits, &labels).expect("ce");
@@ -147,7 +150,10 @@ fn student_inherits_teacher_accuracy_through_pipe_bd_distillation() {
         let loss = cross_entropy_loss(&logits, &labels).expect("ft ce");
         let mut grad = head.head.backward(&loss.grad).expect("ft head bwd");
         for i in (0..trained_student.num_blocks()).rev() {
-            grad = trained_student.block_mut(i).backward(&grad).expect("ft bwd");
+            grad = trained_student
+                .block_mut(i)
+                .backward(&grad)
+                .expect("ft bwd");
         }
         ft_head_opt.step(&mut head.head).expect("ft head step");
         for i in 0..trained_student.num_blocks() {

@@ -1,0 +1,35 @@
+//! Smoke test: every example must keep compiling.
+//!
+//! `cargo test` builds examples as a side effect, but only for the
+//! default feature set of this package; this test pins the guarantee
+//! explicitly (and fails with cargo's own diagnostics) so a refactor
+//! that breaks `examples/` cannot slip through a targeted test run.
+
+use std::path::Path;
+use std::process::Command;
+
+/// The examples shipped with the umbrella crate; update when adding one.
+const EXAMPLES: [&str; 5] = [
+    "compression_vgg",
+    "heterogeneous",
+    "nas_search",
+    "quickstart",
+    "schedule_explorer",
+];
+
+#[test]
+fn all_examples_compile() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for name in EXAMPLES {
+        let path = Path::new(manifest_dir).join(format!("examples/{name}.rs"));
+        assert!(path.is_file(), "example source missing: {}", path.display());
+    }
+
+    let cargo = env!("CARGO");
+    let status = Command::new(cargo)
+        .args(["build", "--examples"])
+        .current_dir(manifest_dir)
+        .status()
+        .expect("failed to spawn cargo");
+    assert!(status.success(), "`cargo build --examples` failed");
+}

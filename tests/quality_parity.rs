@@ -7,9 +7,7 @@
 
 use pipe_bd::core::exec::{reference, threaded, FuncConfig};
 use pipe_bd::data::SyntheticImageDataset;
-use pipe_bd::models::{
-    mini_student_dsconv, mini_student_supernet, mini_teacher, MiniConfig,
-};
+use pipe_bd::models::{mini_student_dsconv, mini_student_supernet, mini_teacher, MiniConfig};
 use pipe_bd::nn::BlockNet;
 use pipe_bd::sched::StagePlan;
 use pipe_bd::tensor::Rng64;

@@ -112,7 +112,10 @@ fn memory_shapes_match_fig7() {
     let tr = e.run(Strategy::TrDpu).expect("TR+DPU");
     let pb = e.run(Strategy::PipeBd).expect("Pipe-BD");
     // DP flat; TR peaks on rank 0; AHD flattens it; overall overhead mild.
-    assert!(dp.memory_per_rank.iter().all(|&m| m == dp.memory_per_rank[0]));
+    assert!(dp
+        .memory_per_rank
+        .iter()
+        .all(|&m| m == dp.memory_per_rank[0]));
     assert!(tr.memory_per_rank[0] > 2 * tr.memory_per_rank[3]);
     assert!(pb.memory_per_rank[0] < tr.memory_per_rank[0]);
     let overhead = pb.memory_overhead_over(&dp);
