@@ -1,11 +1,14 @@
 //! Microbenches of the substrates: tensor kernels, the event engine, plan
-//! enumeration, and the profiler.
+//! enumeration, the profiler, and the executor relay data plane.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipebd_models::Workload;
-use pipebd_sched::{enumerate_hybrid_plans, CostModel, Profiler};
+use pipebd_core::exec::{threaded, FuncConfig};
+use pipebd_data::SyntheticImageDataset;
+use pipebd_models::{mini_student_dsconv, mini_teacher, MiniConfig, Workload};
+use pipebd_nn::{Block, BlockNet, Layer, Relu, Sequential};
+use pipebd_sched::{enumerate_hybrid_plans, CostModel, Profiler, StagePlan};
 use pipebd_sim::{simulate, GpuModel, Resource, SimTime, TaskGraph, TaskKind};
-use pipebd_tensor::{conv2d, Conv2dSpec, Rng64, Tensor};
+use pipebd_tensor::{conv2d, Conv2dSpec, Rng64, SharedTensor, Tensor};
 use std::hint::black_box;
 
 fn bench_tensor(c: &mut Criterion) {
@@ -74,5 +77,106 @@ fn bench_sched(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tensor, bench_engine, bench_sched);
+/// A BlockNet whose blocks are single ReLUs: activation shapes stay large
+/// while per-block compute is one elementwise pass, so the relay data plane
+/// (channel sends, boundary caching, batch reassembly) dominates the run.
+fn relu_relay_net(blocks: usize) -> BlockNet {
+    (0..blocks)
+        .map(|i| {
+            let layers: Vec<Box<dyn Layer>> = vec![Box::new(Relu::new())];
+            Block::new(format!("r{i}"), Sequential::new(layers))
+        })
+        .collect()
+}
+
+fn bench_relay(c: &mut Criterion) {
+    // Isolated relay hop for a ~1 MiB activation: the pre-refactor
+    // mechanism (deep-clone the tensor into the channel) against the
+    // zero-copy data plane (send a `SharedTensor` handle).
+    let mut rng = Rng64::seed_from_u64(1);
+    let act = Tensor::randn(&[16, 16, 32, 32], &mut rng);
+    c.bench_function("relay/hop_deepcopy_1mb", |bench| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        bench.iter(|| {
+            tx.send(act.clone()).expect("send");
+            black_box(rx.recv().expect("recv"))
+        })
+    });
+    c.bench_function("relay/hop_shared_1mb", |bench| {
+        let shared = SharedTensor::new(act.clone());
+        let (tx, rx) = std::sync::mpsc::channel();
+        bench.iter(|| {
+            tx.send(shared.clone()).expect("send");
+            black_box(rx.recv().expect("recv"))
+        })
+    });
+
+    // The micro relay bench: a 4-stage threaded pipeline of ReLU-only
+    // blocks over 32x32 inputs. Compute is negligible, so this measures
+    // the executor's per-hop relay cost (the tentpole's regression anchor).
+    let net = relu_relay_net(4);
+    let data = SyntheticImageDataset::mini(512, 32, 4, 5);
+    let func = FuncConfig {
+        devices: 4,
+        steps: 8,
+        batch: 32,
+        decoupled_updates: true,
+        ..FuncConfig::default()
+    };
+    c.bench_function("relay/pipeline_relu_4dev_8steps", |bench| {
+        bench.iter(|| black_box(threaded::run(&net, &net, &data, &func).expect("relay pipeline")))
+    });
+}
+
+fn bench_exec(c: &mut Criterion) {
+    // End-to-end threaded executor on the real mini models: convolution
+    // compute plus relay, the workload the figure benches scale up.
+    let cfg = MiniConfig {
+        blocks: 4,
+        channels: 8,
+        batch_norm: false,
+    };
+    let mut rng = Rng64::seed_from_u64(7);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let student = mini_student_dsconv(cfg, &mut rng);
+    let data = SyntheticImageDataset::mini(256, 16, 4, 5);
+    let func = FuncConfig {
+        devices: 4,
+        steps: 6,
+        batch: 16,
+        decoupled_updates: true,
+        ..FuncConfig::default()
+    };
+    c.bench_function("exec/threaded_mini_4dev_6steps", |bench| {
+        bench.iter(|| {
+            black_box(threaded::run(&teacher, &student, &data, &func).expect("threaded runs"))
+        })
+    });
+
+    // Hybrid plan with widened stages: additionally exercises the
+    // gradient gather/broadcast path (AHD batch splitting).
+    let plan = StagePlan::from_widths(&[(1, 2), (3, 2)], 4, 4).expect("valid plan");
+    let func_wide = FuncConfig {
+        devices: 4,
+        steps: 6,
+        batch: 16,
+        plan: Some(plan),
+        decoupled_updates: true,
+        ..FuncConfig::default()
+    };
+    c.bench_function("exec/threaded_hybrid_2x2_6steps", |bench| {
+        bench.iter(|| {
+            black_box(threaded::run(&teacher, &student, &data, &func_wide).expect("hybrid runs"))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tensor,
+    bench_engine,
+    bench_sched,
+    bench_relay,
+    bench_exec
+);
 criterion_main!(benches);

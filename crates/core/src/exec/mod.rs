@@ -1,17 +1,100 @@
-//! The threaded functional executor: Algorithm 1 of the paper, with OS
-//! threads as devices and channels as the PCIe relays.
+//! The functional executors: Algorithm 1 of the paper, with OS threads as
+//! devices and channels as the PCIe relays.
+//!
+//! # Reference vs. threaded equivalence
 //!
 //! This module exists to demonstrate the paper's Section VII-D claim
 //! mechanically: Pipe-BD reschedules *when* things execute but never
 //! changes *what* is computed, so every strategy reaches the same trained
 //! student. The [`mod@reference`] module provides the golden sequential
 //! semantics; [`threaded`] runs the real multi-threaded pipeline; the
-//! parity tests compare final parameters.
+//! parity tests compare final parameters. The guarantees, in decreasing
+//! strength:
+//!
+//! * **Bitwise** — any plan whose stages all have width 1 (pure teacher
+//!   relaying, with or without decoupled updates) produces parameters and
+//!   losses bit-identical to [`reference::run`], because every float op
+//!   happens in the same order on the same values.
+//! * **Near-exact** — plans with widened stages (AHD batch splitting)
+//!   average shard gradients, which reorders float summation; parity is
+//!   then bounded by accumulation error (the tests use `1e-4`), not
+//!   scheduling.
+//!
+//! Both executors are also exposed behind the [`Executor`] trait
+//! ([`ReferenceExecutor`], [`ThreadedExecutor`]) so harness code can be
+//! generic over the strategy under test.
+//!
+//! # Zero-copy data plane
+//!
+//! The threaded executor relays activations and broadcasts averaged
+//! gradients as [`SharedTensor`] handles (`Arc`-backed, see
+//! [`pipebd_tensor::SharedTensor`]): once a tensor is produced it is
+//! immutable, and every hop — boundary caching, cross-stage relay sends,
+//! gradient broadcast — transfers a reference-count bump instead of a
+//! buffer. The invariants:
+//!
+//! * a relayed activation is never mutated after it is wrapped in a
+//!   [`SharedTensor`]; mutation would require the copy-on-write
+//!   [`SharedTensor::make_mut`], which the executor never calls on relayed
+//!   data;
+//! * the gradient gather *moves* each member's gradient buffers to the
+//!   stage leader (ownership transfer through the channel, no copies), and
+//!   the leader folds the average into the first contribution's buffers
+//!   rather than allocating accumulators;
+//! * copies remain only where the batch genuinely changes shape (stage
+//!   width transitions re-split the batch) and where averaged gradients
+//!   are written back into `Param::grad`, which owns its storage. See
+//!   `ARCHITECTURE.md` for the full copy audit.
+//!
+//! [`SharedTensor`]: pipebd_tensor::SharedTensor
+//! [`SharedTensor::make_mut`]: pipebd_tensor::SharedTensor::make_mut
 
 pub mod reference;
 pub mod threaded;
 
+use pipebd_data::SyntheticImageDataset;
+use pipebd_nn::BlockNet;
 use pipebd_sched::StagePlan;
+use pipebd_tensor::TensorError;
+
+/// Error raised by an executor.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Configuration cannot be executed (plan/batch mismatch, …).
+    Config(String),
+    /// A tensor operation failed inside a device thread.
+    Tensor(TensorError),
+    /// A device thread panicked.
+    WorkerPanic(String),
+    /// Stage replicas diverged (would indicate a gradient-sharing bug).
+    ReplicaDivergence {
+        /// Block whose replicas differ.
+        block: usize,
+        /// Maximum absolute difference observed.
+        diff: f32,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Config(m) => write!(f, "bad executor config: {m}"),
+            ExecError::Tensor(e) => write!(f, "tensor error in worker: {e}"),
+            ExecError::WorkerPanic(m) => write!(f, "device thread panicked: {m}"),
+            ExecError::ReplicaDivergence { block, diff } => {
+                write!(f, "replicas of block {block} diverged by {diff}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<TensorError> for ExecError {
+    fn from(e: TensorError) -> Self {
+        ExecError::Tensor(e)
+    }
+}
 
 /// Functional training configuration.
 #[derive(Debug, Clone)]
@@ -80,5 +163,72 @@ impl FuncOutcome {
             .iter()
             .map(|l| l.last().copied().unwrap_or(f32::NAN))
             .collect()
+    }
+}
+
+/// A blockwise-distillation training strategy.
+///
+/// Implementations take the same inputs and must produce the same trained
+/// student (see the module docs for the exact equivalence guarantees), so
+/// harness code — parity tests, benches, the `Experiment` facade — can be
+/// generic over *how* the schedule executes.
+pub trait Executor {
+    /// Short strategy name for reports and traces.
+    fn name(&self) -> &'static str;
+
+    /// Trains `student` against `teacher` on `data` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] for invalid configurations, tensor failures,
+    /// worker panics, or replica divergence.
+    fn run(
+        &self,
+        teacher: &BlockNet,
+        student: &BlockNet,
+        data: &SyntheticImageDataset,
+        cfg: &FuncConfig,
+    ) -> Result<FuncOutcome, ExecError>;
+}
+
+/// [`Executor`] running the golden sequential semantics
+/// ([`reference::run`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceExecutor;
+
+impl Executor for ReferenceExecutor {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn run(
+        &self,
+        teacher: &BlockNet,
+        student: &BlockNet,
+        data: &SyntheticImageDataset,
+        cfg: &FuncConfig,
+    ) -> Result<FuncOutcome, ExecError> {
+        reference::run(teacher, student, data, cfg).map_err(ExecError::from)
+    }
+}
+
+/// [`Executor`] running the multi-threaded Pipe-BD pipeline
+/// ([`threaded::run`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedExecutor;
+
+impl Executor for ThreadedExecutor {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run(
+        &self,
+        teacher: &BlockNet,
+        student: &BlockNet,
+        data: &SyntheticImageDataset,
+        cfg: &FuncConfig,
+    ) -> Result<FuncOutcome, ExecError> {
+        threaded::run(teacher, student, data, cfg)
     }
 }

@@ -13,6 +13,22 @@
 //!    (line 15, DPU);
 //! 6. update the student weights (line 16).
 //!
+//! # Zero-copy relay
+//!
+//! The data plane shares immutable tensors instead of copying them (see
+//! the [module docs](super) for the invariants):
+//!
+//! * boundary activations are wrapped in [`SharedTensor`] once, then
+//!   cached locally and relayed to every next-stage member as handle
+//!   clones — a steady-state hop performs zero full-tensor deep copies;
+//! * the gradient gather **moves** each member's gradient buffers to the
+//!   stage leader through the channel, the leader folds the average into
+//!   the first contribution's buffers (no accumulator allocation), and the
+//!   averaged bundle is broadcast as shared handles;
+//! * the only remaining per-step copies are batch re-sharding at stage
+//!   width transitions and the write-back of averaged gradients into
+//!   `Param::grad` (which owns its storage).
+//!
 //! Stage replicas are verified to remain bitwise identical after gradient
 //! averaging — divergence is reported as an error.
 
@@ -22,54 +38,22 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use pipebd_data::SyntheticImageDataset;
 use pipebd_nn::{mse_loss, Block, BlockNet, Layer, Mode, Sgd};
 use pipebd_sched::StagePlan;
-use pipebd_tensor::{Tensor, TensorError};
+use pipebd_tensor::{SharedTensor, Tensor};
 
+pub use super::ExecError;
 use super::{FuncConfig, FuncOutcome};
 
-/// Error raised by the threaded executor.
-#[derive(Debug)]
-pub enum ExecError {
-    /// Configuration cannot be executed (plan/batch mismatch, …).
-    Config(String),
-    /// A tensor operation failed inside a device thread.
-    Tensor(TensorError),
-    /// A device thread panicked.
-    WorkerPanic(String),
-    /// Stage replicas diverged (would indicate a gradient-sharing bug).
-    ReplicaDivergence {
-        /// Block whose replicas differ.
-        block: usize,
-        /// Maximum absolute difference observed.
-        diff: f32,
-    },
-}
-
-impl std::fmt::Display for ExecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ExecError::Config(m) => write!(f, "bad executor config: {m}"),
-            ExecError::Tensor(e) => write!(f, "tensor error in worker: {e}"),
-            ExecError::WorkerPanic(m) => write!(f, "device thread panicked: {m}"),
-            ExecError::ReplicaDivergence { block, diff } => {
-                write!(f, "replicas of block {block} diverged by {diff}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ExecError {}
-
-impl From<TensorError> for ExecError {
-    fn from(e: TensorError) -> Self {
-        ExecError::Tensor(e)
-    }
-}
-
-/// A relayed activation: the sending member's index and its batch shard.
-type Shard = (usize, Tensor);
-/// Gradient-sharing payload: sender member index, flattened per-block
-/// gradients, and per-block shard losses.
+/// A relayed activation: the sending member's index and its batch shard,
+/// shared by handle (sending is a refcount bump, not a copy).
+type Shard = (usize, SharedTensor);
+/// Gradient-gather payload: sender member index, flattened per-block
+/// gradients (moved out of the sender's params — ownership transfer, no
+/// copies), and per-block shard losses.
 type GradMsg = (usize, Vec<Vec<Tensor>>, Vec<f32>);
+/// Averaged bundle the leader broadcasts: per-block per-param averaged
+/// gradients behind shared handles, plus averaged losses. Cloning the
+/// bundle clones handles, not buffers.
+type GradBundle = (Vec<Vec<SharedTensor>>, Vec<f32>);
 
 struct DeviceRole {
     device: usize,
@@ -88,8 +72,8 @@ struct DeviceRole {
     /// Gradient sharing within the stage (leader-based averaging).
     grad_to_leader: Option<Sender<GradMsg>>,
     grad_from_members: Option<Receiver<GradMsg>>,
-    grad_broadcast_tx: Vec<Sender<(Vec<Vec<Tensor>>, Vec<f32>)>>,
-    grad_broadcast_rx: Option<Receiver<(Vec<Vec<Tensor>>, Vec<f32>)>>,
+    grad_broadcast_tx: Vec<Sender<GradBundle>>,
+    grad_broadcast_rx: Option<Receiver<GradBundle>>,
 }
 
 /// Runs blockwise distillation on device threads following `cfg.plan`
@@ -151,7 +135,7 @@ pub fn run(
         // Gradient-sharing fabric for this stage (width > 1).
         let width = stage.width();
         let (leader_tx, leader_rx) = unbounded::<GradMsg>();
-        let broadcast: Vec<(Sender<(Vec<Vec<Tensor>>, Vec<f32>)>, Receiver<_>)> =
+        let broadcast: Vec<(Sender<GradBundle>, Receiver<GradBundle>)> =
             (0..width).map(|_| unbounded()).collect();
 
         for (member, &device) in stage.devices.iter().enumerate() {
@@ -271,30 +255,33 @@ fn worker(
     // member may deliver step s+1 before a slow one delivers step s. Each
     // sender's channel order is its step order, so one FIFO per upstream
     // member restores alignment.
-    let mut shard_queues: Vec<std::collections::VecDeque<Tensor>> =
+    let mut shard_queues: Vec<std::collections::VecDeque<SharedTensor>> =
         vec![std::collections::VecDeque::new(); role.prev_width];
 
     for step in 0..cfg.steps {
         // (1) Input: load data (stage 0) or receive the relayed activation.
-        let input = if role.stage_index == 0 {
-            let (x, _labels) = data.batch(step as u64 * cfg.batch as u64, cfg.batch);
-            let shards = x.split_batch(role.width)?;
-            shards[role.member].clone()
+        let input: SharedTensor = if role.stage_index == 0 {
+            // Sample generation is per-index deterministic, so each member
+            // materializes exactly its own shard — identical values to
+            // splitting a full batch (widths divide the batch), without
+            // generating the other members' rows only to discard them.
+            let shard = cfg.batch / role.width;
+            let start = step as u64 * cfg.batch as u64 + (role.member * shard) as u64;
+            let (x, _labels) = data.batch(start, shard);
+            SharedTensor::new(x)
         } else {
             let rx = role.input_rx.as_ref().expect("non-first stage receives");
             let prev_shards = receive_full_batch(rx, &mut shard_queues)?;
-            // Reassemble the full batch in member order, then take our
-            // shard.
-            let full = Tensor::cat_batch(&prev_shards)?;
-            let shards = full.split_batch(role.width)?;
-            shards[role.member].clone()
+            reshard(prev_shards, role.width, role.member)?
         };
 
         // (2) Teacher blocks, collecting every boundary (lines 10–11).
-        let mut boundaries = Vec::with_capacity(num_blocks);
+        // Each boundary is wrapped in a shared handle once; caching it and
+        // relaying it downstream are refcount bumps, never buffer copies.
+        let mut boundaries: Vec<SharedTensor> = Vec::with_capacity(num_blocks);
         let mut cur = input.clone();
         for t in &mut role.teacher_blocks {
-            cur = t.forward(&cur, Mode::Eval)?;
+            cur = SharedTensor::new(t.forward(&cur, Mode::Eval)?);
             boundaries.push(cur.clone());
         }
         // Relay the final boundary to every member of the next stage.
@@ -354,8 +341,8 @@ fn worker(
 /// step, then pops one shard per member, ordered by member index.
 fn receive_full_batch(
     rx: &Receiver<Shard>,
-    queues: &mut [std::collections::VecDeque<Tensor>],
-) -> Result<Vec<Tensor>, ExecError> {
+    queues: &mut [std::collections::VecDeque<SharedTensor>],
+) -> Result<Vec<SharedTensor>, ExecError> {
     while queues.iter().any(std::collections::VecDeque::is_empty) {
         let (member, shard) = rx
             .recv()
@@ -371,16 +358,51 @@ fn receive_full_batch(
         .collect())
 }
 
+/// Maps the previous stage's shards onto this member's input shard.
+///
+/// In the steady-state relay case — equal stage widths, including the
+/// common 1 → 1 pipeline hop — the member's received handle is forwarded
+/// untouched: zero copies. (Widths all divide the batch, so upstream
+/// shards are equal-sized and concatenating then re-splitting would
+/// reproduce them exactly.) Only genuine width transitions re-shard the
+/// batch, paying one concatenation and/or one split; the values are
+/// identical to the always-cat-then-split formulation, so bitwise parity
+/// with the reference is unaffected.
+fn reshard(
+    mut prev: Vec<SharedTensor>,
+    width: usize,
+    member: usize,
+) -> Result<SharedTensor, ExecError> {
+    if prev.len() == width {
+        return Ok(prev.swap_remove(member));
+    }
+    if prev.len() == 1 {
+        // Narrow-to-wide: split the single upstream shard directly.
+        let mut shards = prev[0].split_batch(width)?;
+        return Ok(SharedTensor::new(shards.swap_remove(member)));
+    }
+    // Reassemble the full batch in member order, then take our shard.
+    let refs: Vec<&Tensor> = prev.iter().map(SharedTensor::as_ref).collect();
+    let full = Tensor::cat_batch_refs(&refs)?;
+    if width == 1 {
+        return Ok(SharedTensor::new(full));
+    }
+    let mut shards = full.split_batch(width)?;
+    Ok(SharedTensor::new(shards.swap_remove(member)))
+}
+
 fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(), ExecError> {
-    // Collect local gradients.
+    // Move the local gradients out of the params: they are about to be
+    // replaced by the averaged bundle, so the gather can transfer
+    // ownership through the channel instead of copying buffers.
     let mut local: Vec<Vec<Tensor>> = Vec::with_capacity(role.student_blocks.len());
     for s in &mut role.student_blocks {
         let mut grads = Vec::new();
-        s.visit_params(&mut |p| grads.push(p.grad.clone()));
+        s.visit_params(&mut |p| grads.push(std::mem::take(&mut p.grad)));
         local.push(grads);
     }
 
-    let (avg, avg_losses) = if role.member == 0 {
+    let (avg, avg_losses): GradBundle = if role.member == 0 {
         // Leader: gather, average in member order, broadcast.
         let rx = role
             .grad_from_members
@@ -394,6 +416,9 @@ fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(),
                 .map_err(|_| ExecError::Config("gradient gather hung up".into()))?;
             contributions[member] = Some((grads, l));
         }
+        // Fold the average into the first contribution's buffers — the
+        // accumulator reuses the moved-in gradient storage, allocating
+        // nothing.
         let mut iter = contributions.into_iter().map(|c| c.expect("all members"));
         let (mut acc, mut loss_acc) = iter.next().expect("width >= 1");
         for (grads, l) in iter {
@@ -415,8 +440,16 @@ fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(),
         for l in &mut loss_acc {
             *l *= inv;
         }
+        // Publish the averaged gradients behind shared handles; each
+        // broadcast send clones handles, not buffers.
+        let bundle: GradBundle = (
+            acc.into_iter()
+                .map(|block| block.into_iter().map(SharedTensor::new).collect())
+                .collect(),
+            loss_acc,
+        );
         for tx in &role.grad_broadcast_tx {
-            tx.send((acc.clone(), loss_acc.clone()))
+            tx.send(bundle.clone())
                 .map_err(|_| ExecError::Config("gradient broadcast hung up".into()))?;
         }
         let rx = role
@@ -440,11 +473,15 @@ fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(),
             .map_err(|_| ExecError::Config("gradient broadcast hung up".into()))?
     };
 
-    // Overwrite local gradients with the averaged ones.
+    // Write the averaged gradients back into the params — the one
+    // alloc-and-copy left in the sharing path (`Param::grad` owns its
+    // storage and its previous buffer was moved to the leader during the
+    // gather, so this materializes a fresh one: net one copy per param
+    // per step, versus three in the deep-copy data plane).
     for (s, grads) in role.student_blocks.iter_mut().zip(avg.iter()) {
         let mut idx = 0usize;
         s.visit_params(&mut |p| {
-            p.grad = grads[idx].clone();
+            p.grad.clone_from(&grads[idx]);
             idx += 1;
         });
     }
@@ -599,5 +636,42 @@ mod tests {
                 "block {i} loss did not decrease"
             );
         }
+    }
+
+    #[test]
+    fn reshard_steady_state_forwards_the_same_allocation() {
+        // The tentpole invariant: a width-1 → width-1 hop must not copy.
+        let t = SharedTensor::new(Tensor::ones(&[4, 2]));
+        let out = reshard(vec![t.clone()], 1, 0).unwrap();
+        assert!(out.ptr_eq(&t), "steady-state relay must share, not copy");
+    }
+
+    #[test]
+    fn reshard_equal_widths_forward_each_member_shard() {
+        // Width-N → width-N hops are also steady state: member i's input
+        // is exactly upstream member i's shard, shared by handle.
+        let a = SharedTensor::new(Tensor::ones(&[2, 3]));
+        let b = SharedTensor::new(Tensor::full(&[2, 3], 2.0));
+        let out = reshard(vec![a.clone(), b.clone()], 2, 1).unwrap();
+        assert!(out.ptr_eq(&b), "equal-width relay must share, not re-shard");
+    }
+
+    #[test]
+    fn reshard_width_transitions_match_cat_then_split() {
+        let a = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[2, 4]).unwrap();
+        let b = Tensor::from_vec((8..16).map(|x| x as f32).collect(), &[2, 4]).unwrap();
+        let full = Tensor::cat_batch(&[a.clone(), b.clone()]).unwrap();
+        // Wide-to-narrow: 2 upstream members into width 1.
+        let merged = reshard(
+            vec![SharedTensor::new(a.clone()), SharedTensor::new(b.clone())],
+            1,
+            0,
+        )
+        .unwrap();
+        assert_eq!(*merged, full);
+        // Narrow-to-wide: 1 upstream member into width 2, member 1.
+        let expect = full.split_batch(2).unwrap();
+        let shard = reshard(vec![SharedTensor::new(full.clone())], 2, 1).unwrap();
+        assert_eq!(*shard, expect[1]);
     }
 }

@@ -33,6 +33,7 @@ mod linalg;
 mod pool;
 mod rng;
 mod shape;
+mod shared;
 mod tensor;
 
 pub use conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, Conv2dSpec};
@@ -43,6 +44,7 @@ pub use pool::{
 };
 pub use rng::Rng64;
 pub use shape::Shape;
+pub use shared::SharedTensor;
 pub use tensor::Tensor;
 
 /// Crate-level result alias.

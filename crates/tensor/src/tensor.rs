@@ -23,10 +23,27 @@ use crate::shape::Shape;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Clones into an existing tensor, reusing its buffer when the
+    /// capacity suffices (callers holding a live same-size buffer avoid
+    /// reallocating; a defaulted/taken tensor still allocates).
+    fn clone_from(&mut self, source: &Self) {
+        self.shape.clone_from(&source.shape);
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl Tensor {
@@ -378,7 +395,22 @@ impl Tensor {
     /// Returns [`TensorError::InvalidArgument`] if `parts` is empty, or
     /// [`TensorError::ShapeMismatch`] if trailing dimensions differ.
     pub fn cat_batch(parts: &[Tensor]) -> Result<Tensor, TensorError> {
-        let first = parts
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::cat_batch_refs(&refs)
+    }
+
+    /// [`Tensor::cat_batch`] over borrowed tensors — lets callers holding
+    /// shared handles (e.g. [`SharedTensor`]) concatenate without first
+    /// materializing owned clones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `parts` is empty, or
+    /// [`TensorError::ShapeMismatch`] if trailing dimensions differ.
+    ///
+    /// [`SharedTensor`]: crate::SharedTensor
+    pub fn cat_batch_refs(parts: &[&Tensor]) -> Result<Tensor, TensorError> {
+        let first = *parts
             .first()
             .ok_or_else(|| TensorError::invalid("cat_batch: no tensors given"))?;
         let tail = &first.dims()[1..];

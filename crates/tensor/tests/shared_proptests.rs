@@ -1,0 +1,71 @@
+//! Property-based tests for the copy-on-write [`SharedTensor`] handle.
+//!
+//! The executor data plane relies on one invariant above all: a tensor
+//! relayed by shared handle is immutable through that handle, and the few
+//! legitimate mutation sites (via `make_mut`) must never be observable
+//! through an alias. These properties pin that down over random data and
+//! random mutations.
+
+use pipebd_tensor::{SharedTensor, Tensor};
+use proptest::prelude::*;
+
+fn vecf(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aliased_mutation_is_unobservable(data in vecf(12), scale in -3.0f32..3.0, shift in -3.0f32..3.0) {
+        let original = Tensor::from_vec(data, &[3, 4]).unwrap();
+        let a = SharedTensor::new(original.clone());
+        let mut b = a.clone();
+        let mut c = b.clone();
+        b.make_mut().scale(scale);
+        c.make_mut().map_inplace(|x| x + shift);
+        // The untouched alias still sees the original values…
+        prop_assert_eq!(&*a, &original);
+        // …and each mutated handle sees exactly its own mutation.
+        let mut expect_b = original.clone();
+        expect_b.scale(scale);
+        let mut expect_c = original.clone();
+        expect_c.map_inplace(|x| x + shift);
+        prop_assert_eq!(&*b, &expect_b);
+        prop_assert_eq!(&*c, &expect_c);
+        prop_assert!(!a.ptr_eq(&b));
+        prop_assert!(!a.ptr_eq(&c));
+    }
+
+    #[test]
+    fn unique_make_mut_is_in_place(data in vecf(8), value in -2.0f32..2.0) {
+        let mut a = SharedTensor::new(Tensor::from_vec(data, &[8]).unwrap());
+        let ptr = a.data().as_ptr();
+        a.make_mut().fill(value);
+        // Sole ownership: mutation must not have copied the buffer.
+        prop_assert_eq!(a.data().as_ptr(), ptr);
+        prop_assert_eq!(&*a, &Tensor::full(&[8], value));
+    }
+
+    #[test]
+    fn into_tensor_preserves_data_under_aliasing(data in vecf(10)) {
+        let t = Tensor::from_vec(data, &[2, 5]).unwrap();
+        let a = SharedTensor::new(t.clone());
+        let b = a.clone();
+        // Unwrapping an aliased handle clones; unwrapping the survivor
+        // moves. Both must yield the original values.
+        prop_assert_eq!(b.into_tensor(), t.clone());
+        prop_assert_eq!(a.into_tensor(), t);
+    }
+
+    #[test]
+    fn clone_from_reuses_the_destination_buffer(src in vecf(16), dst in vecf(16)) {
+        let src = Tensor::from_vec(src, &[4, 4]).unwrap();
+        let mut dst = Tensor::from_vec(dst, &[16]).unwrap();
+        let ptr = dst.data().as_ptr();
+        dst.clone_from(&src);
+        prop_assert_eq!(&dst, &src);
+        // Equal element counts: the write-back path must reuse storage.
+        prop_assert_eq!(dst.data().as_ptr(), ptr);
+    }
+}
