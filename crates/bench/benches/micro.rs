@@ -8,7 +8,10 @@ use pipebd_models::{mini_student_dsconv, mini_teacher, MiniConfig, Workload};
 use pipebd_nn::{Block, BlockNet, Layer, Relu, Sequential};
 use pipebd_sched::{enumerate_hybrid_plans, CostModel, Profiler, StagePlan};
 use pipebd_sim::{simulate, GpuModel, Resource, SimTime, TaskGraph, TaskKind};
-use pipebd_tensor::{conv2d, Conv2dSpec, Rng64, SharedTensor, Tensor};
+use pipebd_tensor::{
+    conv2d, conv2d_grad_input_with, conv2d_grad_weight_with, conv2d_with, Conv2dSpec, KernelPolicy,
+    Rng64, SharedTensor, Tensor,
+};
 use std::hint::black_box;
 
 fn bench_tensor(c: &mut Criterion) {
@@ -25,6 +28,50 @@ fn bench_tensor(c: &mut Criterion) {
     c.bench_function("tensor/conv2d_8x16x16", |bench| {
         bench.iter(|| black_box(conv2d(&x, &w, spec).expect("shapes match")))
     });
+}
+
+/// Naive-vs-blocked A/B pairs for every hot kernel: the compute-plane
+/// speedups recorded in `EXPERIMENTS.md`. Explicit `*_with` variants keep
+/// the comparison independent of the process-global policy.
+fn bench_kernel_policies(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from_u64(1);
+
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+    for policy in [KernelPolicy::Naive, KernelPolicy::Blocked] {
+        c.bench_function(format!("tensor/matmul_256_{policy}"), |bench| {
+            bench.iter(|| black_box(a.matmul_with(&b, policy).expect("shapes match")))
+        });
+    }
+
+    let x = Tensor::randn(&[4, 8, 16, 16], &mut rng);
+    let w = Tensor::randn(&[8, 8, 3, 3], &mut rng);
+    let spec = Conv2dSpec::dense(8, 8, 3, 1, 1);
+    let dy = Tensor::randn(&[4, 8, 16, 16], &mut rng);
+    for policy in [KernelPolicy::Naive, KernelPolicy::Blocked] {
+        c.bench_function(format!("tensor/conv2d_8x16x16_{policy}"), |bench| {
+            bench.iter(|| black_box(conv2d_with(&x, &w, spec, policy).expect("shapes match")))
+        });
+        c.bench_function(
+            format!("tensor/conv2d_grad_input_8x16x16_{policy}"),
+            |bench| {
+                bench.iter(|| {
+                    black_box(
+                        conv2d_grad_input_with(&dy, &w, spec, (16, 16), policy)
+                            .expect("shapes match"),
+                    )
+                })
+            },
+        );
+        c.bench_function(
+            format!("tensor/conv2d_grad_weight_8x16x16_{policy}"),
+            |bench| {
+                bench.iter(|| {
+                    black_box(conv2d_grad_weight_with(&x, &dy, spec, policy).expect("shapes match"))
+                })
+            },
+        );
+    }
 }
 
 fn bench_engine(c: &mut Criterion) {
@@ -174,6 +221,7 @@ fn bench_exec(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tensor,
+    bench_kernel_policies,
     bench_engine,
     bench_sched,
     bench_relay,

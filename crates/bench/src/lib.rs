@@ -59,11 +59,14 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     "█".repeat(cells.min(width))
 }
 
-/// Prints a standard harness header.
+/// Prints a standard harness header, including the active tensor
+/// [`KernelPolicy`](pipebd_tensor::KernelPolicy) so recorded experiment
+/// output is attributable to a compute path.
 pub fn header(title: &str, detail: &str) {
     println!("================================================================");
     println!("{title}");
     println!("{detail}");
+    println!("kernel policy: {}", pipebd_tensor::kernel_policy());
     println!("================================================================");
 }
 

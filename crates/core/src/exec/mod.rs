@@ -18,7 +18,12 @@
 //! * **Near-exact** — plans with widened stages (AHD batch splitting)
 //!   average shard gradients, which reorders float summation; parity is
 //!   then bounded by accumulation error (the tests use `1e-4`), not
-//!   scheduling.
+//!   scheduling. Caveat: this bound assumes per-sample layers. A
+//!   batch-statistics layer (`BatchNorm2d` in `Mode::Train`) normalizes
+//!   each shard by *shard* statistics where the reference uses
+//!   full-batch statistics — a systematic difference, not rounding — so
+//!   widened plans over batch-norm students trade exactness for
+//!   parallelism (width-1 plans remain bitwise even with batch norm).
 //!
 //! Both executors are also exposed behind the [`Executor`] trait
 //! ([`ReferenceExecutor`], [`ThreadedExecutor`]) so harness code can be
@@ -41,9 +46,11 @@
 //!   stage leader (ownership transfer through the channel, no copies), and
 //!   the leader folds the average into the first contribution's buffers
 //!   rather than allocating accumulators;
-//! * copies remain only where the batch genuinely changes shape (stage
-//!   width transitions re-split the batch) and where averaged gradients
-//!   are written back into `Param::grad`, which owns its storage. See
+//! * averaged gradients are written back as *shared* handles
+//!   (`Param::set_shared_grad`, a refcount bump per param) that the
+//!   optimizer consumes in place, so the sharing path is copy-free end
+//!   to end; per-step copies remain only where the batch genuinely
+//!   changes shape (stage width transitions re-split the batch). See
 //!   `ARCHITECTURE.md` for the full copy audit.
 //!
 //! [`SharedTensor`]: pipebd_tensor::SharedTensor

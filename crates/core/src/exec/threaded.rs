@@ -23,11 +23,13 @@
 //!   clones — a steady-state hop performs zero full-tensor deep copies;
 //! * the gradient gather **moves** each member's gradient buffers to the
 //!   stage leader through the channel, the leader folds the average into
-//!   the first contribution's buffers (no accumulator allocation), and the
-//!   averaged bundle is broadcast as shared handles;
-//! * the only remaining per-step copies are batch re-sharding at stage
-//!   width transitions and the write-back of averaged gradients into
-//!   `Param::grad` (which owns its storage).
+//!   the first contribution's buffers (no accumulator allocation), the
+//!   averaged bundle is broadcast as shared handles, and each member
+//!   installs its handles directly as `Param` shared gradients (the
+//!   optimizer consumes them in place) — the sharing path performs zero
+//!   buffer copies;
+//! * the only remaining per-step copy is batch re-sharding at stage
+//!   width *transitions* (equal-width hops forward handles untouched).
 //!
 //! Stage replicas are verified to remain bitwise identical after gradient
 //! averaging — divergence is reported as an error.
@@ -394,11 +396,13 @@ fn reshard(
 fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(), ExecError> {
     // Move the local gradients out of the params: they are about to be
     // replaced by the averaged bundle, so the gather can transfer
-    // ownership through the channel instead of copying buffers.
+    // ownership through the channel instead of copying buffers. The next
+    // backward pass re-seeds each accumulator by moving its freshly
+    // computed gradient in (`Param::accumulate_grad`).
     let mut local: Vec<Vec<Tensor>> = Vec::with_capacity(role.student_blocks.len());
     for s in &mut role.student_blocks {
         let mut grads = Vec::new();
-        s.visit_params(&mut |p| grads.push(std::mem::take(&mut p.grad)));
+        s.visit_params(&mut |p| grads.push(p.take_grad()));
         local.push(grads);
     }
 
@@ -473,15 +477,15 @@ fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(),
             .map_err(|_| ExecError::Config("gradient broadcast hung up".into()))?
     };
 
-    // Write the averaged gradients back into the params — the one
-    // alloc-and-copy left in the sharing path (`Param::grad` owns its
-    // storage and its previous buffer was moved to the leader during the
-    // gather, so this materializes a fresh one: net one copy per param
-    // per step, versus three in the deep-copy data plane).
+    // Install the averaged gradients as shared handles — a refcount bump
+    // per param, not a copy. Every member of the stage points its params
+    // at the same averaged buffers; the optimizer consumes them in place
+    // (`Sgd::step` reads `Param::grad_view` without mutating), so the
+    // sharing path is now copy-free end to end.
     for (s, grads) in role.student_blocks.iter_mut().zip(avg.iter()) {
         let mut idx = 0usize;
         s.visit_params(&mut |p| {
-            p.grad.clone_from(&grads[idx]);
+            p.set_shared_grad(grads[idx].clone());
             idx += 1;
         });
     }

@@ -125,9 +125,9 @@ impl Layer for Conv2d {
             .ok_or_else(|| TensorError::invalid("conv2d: backward before forward"))?;
         let x = &cache.input;
         let dw = conv2d_grad_weight(x, dy, self.spec)?;
-        self.weight.grad.add_assign(&dw)?;
+        self.weight.accumulate_grad(dw)?;
         if let Some(b) = &mut self.bias {
-            b.grad.add_assign(&channel_bias_grad(dy))?;
+            b.accumulate_grad(channel_bias_grad(dy))?;
         }
         let hw = (x.dims()[2], x.dims()[3]);
         conv2d_grad_input(dy, &self.weight.value, self.spec, hw)

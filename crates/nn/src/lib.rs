@@ -122,9 +122,10 @@ impl Clone for Box<dyn Layer> {
     }
 }
 
-/// Zeroes the gradients of every parameter of `layer`.
+/// Zeroes the gradients of every parameter of `layer` (both the owned
+/// accumulator and any shared averaged-gradient override).
 pub fn zero_grad(layer: &mut dyn Layer) {
-    layer.visit_params(&mut |p| p.grad.fill(0.0));
+    layer.visit_params(&mut |p| p.clear_grad());
 }
 
 /// Total number of scalar parameters (all kinds) in `layer`.

@@ -54,8 +54,8 @@ impl Layer for Linear {
             .as_ref()
             .ok_or_else(|| TensorError::invalid("linear: backward before forward"))?;
         // dW = xᵀ dy ; db = column sums of dy ; dx = dy Wᵀ.
-        self.weight.grad.add_assign(&x.matmul_t_a(dy)?)?;
-        self.bias.grad.add_assign(&dy.sum_rows()?)?;
+        self.weight.accumulate_grad(x.matmul_t_a(dy)?)?;
+        self.bias.accumulate_grad(dy.sum_rows()?)?;
         dy.matmul_b_t(&self.weight.value)
     }
 

@@ -114,8 +114,9 @@ impl Layer for MixedOp {
             .zip(dots.iter())
             .map(|(&w, &d)| w * d)
             .sum();
+        let alpha_grad = self.alpha.grad_mut().data_mut();
         for k in 0..self.candidates.len() {
-            self.alpha.grad.data_mut()[k] += cache.weights[k] * (dots[k] - mean_dot);
+            alpha_grad[k] += cache.weights[k] * (dots[k] - mean_dot);
         }
         // Input gradient: weighted sum of candidate adjoints. Candidate
         // weight grads are scaled by w_k because y = Σ w_k op_k(x).

@@ -152,8 +152,8 @@ impl Layer for BatchNorm2d {
                     sum_dy_xhat += dyd[i] * xhat[i];
                 }
             }
-            self.beta.grad.data_mut()[ch] += sum_dy;
-            self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
+            self.beta.grad_mut().data_mut()[ch] += sum_dy;
+            self.gamma.grad_mut().data_mut()[ch] += sum_dy_xhat;
             let k = g * inv_std / m;
             for b in 0..n {
                 let base = (b * c + ch) * h * w;

@@ -52,7 +52,12 @@ impl Sgd {
     }
 
     /// Applies one update step to every matching parameter of `layer`,
-    /// consuming the accumulated gradients (they are zeroed afterwards).
+    /// consuming the accumulated gradients (they are cleared afterwards).
+    ///
+    /// The gradient is read through [`Param::grad_view`] and never
+    /// mutated, so a shared averaged gradient installed by the executor's
+    /// data-parallel write-back is consumed in place — every stage replica
+    /// steps off the same buffer.
     ///
     /// # Errors
     ///
@@ -77,17 +82,22 @@ impl Sgd {
             if matches {
                 let vel = &mut velocities[idx];
                 let step_result = (|| -> Result<()> {
-                    if weight_decay != 0.0 {
-                        p.grad.axpy(weight_decay, &p.value)?;
-                    }
                     if momentum != 0.0 {
+                        // vel = momentum * vel + grad (+ wd * value)
                         vel.scale(momentum);
-                        vel.add_assign(&p.grad)?;
+                        vel.add_assign(p.grad_view())?;
+                        if weight_decay != 0.0 {
+                            vel.axpy(weight_decay, &p.value)?;
+                        }
                         p.value.axpy(-lr, vel)?;
                     } else {
-                        p.value.axpy(-lr, &p.grad)?;
+                        if weight_decay != 0.0 {
+                            p.value.scale(1.0 - lr * weight_decay);
+                        }
+                        let (value, grad) = p.value_and_grad();
+                        value.axpy(-lr, grad)?;
                     }
-                    p.grad.fill(0.0);
+                    p.clear_grad();
                     Ok(())
                 })();
                 if let Err(e) = step_result {

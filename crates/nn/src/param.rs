@@ -1,4 +1,4 @@
-use pipebd_tensor::Tensor;
+use pipebd_tensor::{Result, SharedTensor, Tensor, TensorError};
 
 /// Classifies a trainable parameter.
 ///
@@ -16,12 +16,33 @@ pub enum ParamKind {
 }
 
 /// A trainable tensor together with its gradient accumulator.
+///
+/// The gradient has two representations:
+///
+/// * **Owned** — [`Param::grad`], the accumulator layers add into during
+///   backward passes.
+/// * **Shared** — an optional [`SharedTensor`] override installed by the
+///   executor's gradient-averaging path ([`Param::set_shared_grad`]).
+///   Every replica of a widened stage points at the *same* averaged
+///   buffer, so the write-back is a refcount bump instead of a per-param
+///   copy. The optimizer reads whichever representation is active via
+///   [`Param::grad_view`] and consumes both on `step`.
+///
+/// After the executor's gradient gather moves the owned buffer out
+/// ([`Param::take_grad`]), the owned accumulator is left empty; the next
+/// backward pass re-materializes it by *moving* its freshly computed
+/// gradient in ([`Param::accumulate_grad`]) — steady-state training never
+/// copies a gradient buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Current value.
     pub value: Tensor,
-    /// Accumulated gradient (same shape as `value`).
+    /// Owned accumulated gradient (same shape as `value`, or empty after
+    /// [`Param::take_grad`]).
     pub grad: Tensor,
+    /// Shared override set by gradient averaging; read preferentially by
+    /// [`Param::grad_view`].
+    shared_grad: Option<SharedTensor>,
     /// Whether this is a weight or an architecture parameter.
     pub kind: ParamKind,
 }
@@ -33,6 +54,7 @@ impl Param {
         Param {
             value,
             grad,
+            shared_grad: None,
             kind: ParamKind::Weight,
         }
     }
@@ -43,8 +65,93 @@ impl Param {
         Param {
             value,
             grad,
+            shared_grad: None,
             kind: ParamKind::Arch,
         }
+    }
+
+    /// The gradient the optimizer should consume: the shared override if
+    /// one is installed, the owned accumulator otherwise.
+    pub fn grad_view(&self) -> &Tensor {
+        match &self.shared_grad {
+            Some(s) => s,
+            None => &self.grad,
+        }
+    }
+
+    /// Split borrow of the value (mutably) and the active gradient —
+    /// needed by optimizer updates like `value.axpy(-lr, grad)`.
+    pub fn value_and_grad(&mut self) -> (&mut Tensor, &Tensor) {
+        let grad = match &self.shared_grad {
+            Some(s) => &**s,
+            None => &self.grad,
+        };
+        (&mut self.value, grad)
+    }
+
+    /// Accumulates `g` into the owned gradient.
+    ///
+    /// When the owned accumulator is live this adds elementwise; when it
+    /// was moved out by [`Param::take_grad`] the buffer is re-seeded by
+    /// *moving* `g` in — no allocation, no copy. Any stale shared
+    /// override is dropped (a new backward pass invalidates it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape mismatch if `g`'s shape differs from the
+    /// parameter's (on both the add and the re-seed path — a backward
+    /// pass producing a wrong-shaped gradient should fail here, at the
+    /// layer that produced it, not later in the optimizer).
+    pub fn accumulate_grad(&mut self, g: Tensor) -> Result<()> {
+        self.shared_grad = None;
+        if self.grad.numel() == 0 && g.numel() != 0 {
+            if g.dims() != self.value.dims() {
+                return Err(TensorError::ShapeMismatch {
+                    expected: self.value.dims().to_vec(),
+                    actual: g.dims().to_vec(),
+                    op: "accumulate_grad",
+                });
+            }
+            self.grad = g;
+            Ok(())
+        } else {
+            self.grad.add_assign(&g)
+        }
+    }
+
+    /// Mutable access to the owned gradient, re-materializing a zeroed
+    /// buffer if it was moved out by [`Param::take_grad`].
+    ///
+    /// For layers that accumulate by indexing (batch norm, NAS mixed
+    /// ops) rather than by whole-tensor adds.
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        self.shared_grad = None;
+        if self.grad.numel() == 0 && self.value.numel() != 0 {
+            self.grad = Tensor::zeros(self.value.dims());
+        }
+        &mut self.grad
+    }
+
+    /// Moves the owned gradient out (for the executor's gather, which
+    /// transfers ownership through a channel), leaving the accumulator
+    /// empty and dropping any shared override.
+    pub fn take_grad(&mut self) -> Tensor {
+        self.shared_grad = None;
+        std::mem::take(&mut self.grad)
+    }
+
+    /// Installs an averaged gradient as a shared handle — the executor's
+    /// zero-copy write-back. Replicas of a stage share one allocation.
+    pub fn set_shared_grad(&mut self, g: SharedTensor) {
+        self.shared_grad = Some(g);
+    }
+
+    /// Consumes the gradient after an optimizer step: drops the shared
+    /// override and zeroes the owned accumulator (a no-op if it was moved
+    /// out).
+    pub fn clear_grad(&mut self) {
+        self.shared_grad = None;
+        self.grad.fill(0.0);
     }
 }
 
@@ -60,5 +167,56 @@ mod tests {
         let a = Param::arch(Tensor::ones(&[3]));
         assert_eq!(a.kind, ParamKind::Arch);
         assert_eq!(a.grad.dims(), &[3]);
+    }
+
+    #[test]
+    fn accumulate_moves_into_taken_grad() {
+        let mut p = Param::weight(Tensor::ones(&[4]));
+        let taken = p.take_grad();
+        assert_eq!(taken.dims(), &[4]);
+        assert_eq!(p.grad.numel(), 0);
+        let g = Tensor::full(&[4], 2.0);
+        let src_ptr = g.data().as_ptr();
+        p.accumulate_grad(g).unwrap();
+        assert_eq!(p.grad.data().as_ptr(), src_ptr, "must move, not copy");
+        // A live accumulator adds instead.
+        p.accumulate_grad(Tensor::ones(&[4])).unwrap();
+        assert_eq!(p.grad.data(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn accumulate_rejects_wrong_shape_on_reseed() {
+        let mut p = Param::weight(Tensor::ones(&[4]));
+        let _ = p.take_grad();
+        assert!(p.accumulate_grad(Tensor::ones(&[3])).is_err());
+    }
+
+    #[test]
+    fn shared_override_wins_until_cleared() {
+        let mut p = Param::weight(Tensor::ones(&[2]));
+        p.accumulate_grad(Tensor::full(&[2], 5.0)).unwrap();
+        let avg = SharedTensor::new(Tensor::full(&[2], 7.0));
+        p.set_shared_grad(avg.clone());
+        assert_eq!(p.grad_view().data(), &[7.0, 7.0]);
+        assert!(avg.ref_count() >= 2, "write-back must share, not copy");
+        p.clear_grad();
+        assert_eq!(p.grad_view().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_mut_rematerializes_after_take() {
+        let mut p = Param::weight(Tensor::ones(&[3]));
+        let _ = p.take_grad();
+        p.grad_mut().data_mut()[1] += 4.0;
+        assert_eq!(p.grad.data(), &[0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn value_and_grad_splits_for_axpy() {
+        let mut p = Param::weight(Tensor::ones(&[2]));
+        p.set_shared_grad(SharedTensor::new(Tensor::full(&[2], 2.0)));
+        let (value, grad) = p.value_and_grad();
+        value.axpy(-0.5, grad).unwrap();
+        assert_eq!(p.value.data(), &[0.0, 0.0]);
     }
 }

@@ -1,0 +1,391 @@
+//! Packed, cache-blocked f32 GEMM — the [`KernelPolicy::Blocked`] matrix
+//! engine.
+//!
+//! One routine, [`gemm_strided`], backs every dense product in the crate:
+//! `matmul`, `matmul_t_a`, `matmul_b_t`, and (through the `im2col`
+//! lowering) `conv2d` and both of its adjoints. Transposed operands are
+//! handled by the packing step reading through arbitrary row/column
+//! strides, so no caller ever materializes a transpose.
+//!
+//! The structure is the standard three-level blocking of BLIS/GotoBLAS,
+//! in plain safe Rust:
+//!
+//! ```text
+//! for jc in 0..n step NC          # B column panel   (stays in L3/L2)
+//!   for pc in 0..k step KC        # depth panel
+//!     pack B[pc.., jc..] -> ~KC x NC, NR-wide column micro-panels
+//!     for ic in 0..m step MC      # A row panel      (stays in L2)
+//!       pack A[ic.., pc..] -> ~MC x KC, MR-tall row micro-panels
+//!       for each MR x NR tile: microkernel over KC in registers
+//! ```
+//!
+//! The microkernel keeps an `MR x NR` accumulator as a fixed-size array,
+//! which LLVM autovectorizes and keeps in vector registers — no unsafe,
+//! no intrinsics. Per-element accumulation order over `k` is identical
+//! to the naive loops (panels ascend, lanes are independent), so the two
+//! policies agree to rounding contraction, not just to "some tolerance".
+//!
+//! Packing buffers live in thread-local scratch ([`with_pack_buffers`]),
+//! so steady-state training performs no per-call allocation.
+//!
+//! [`KernelPolicy::Blocked`]: crate::KernelPolicy::Blocked
+
+use std::cell::RefCell;
+
+/// Rows of C carried per microkernel tile.
+const MR: usize = 8;
+/// Columns of C carried per microkernel tile.
+const NR: usize = 32;
+/// Row-panel height: A block of `MC x KC` is packed per inner pass.
+const MC: usize = 64;
+/// Depth of one packed panel pair.
+const KC: usize = 256;
+/// Column-panel width: B block of `KC x NC` is packed per outer pass.
+const NC: usize = 1024;
+
+thread_local! {
+    /// `(packed A, packed B)` scratch, reused across calls on this thread.
+    static PACK_BUFFERS: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Floats per cache line; pack slices are aligned to this so panel loads
+/// never straddle a line.
+const LINE: usize = 16;
+
+/// Returns the subslice of `buf` starting at its first cache-line-aligned
+/// element, growing the buffer so `len` elements fit past that point.
+fn aligned(buf: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    if buf.len() < len + LINE {
+        buf.resize(len + LINE, 0.0);
+    }
+    let off = (buf.as_ptr() as usize / 4).wrapping_neg() % LINE;
+    &mut buf[off..off + len]
+}
+
+/// Runs `f` with this thread's packing scratch grown to the given sizes.
+fn with_pack_buffers<R>(
+    a_len: usize,
+    b_len: usize,
+    f: impl FnOnce(&mut [f32], &mut [f32]) -> R,
+) -> R {
+    PACK_BUFFERS.with(|cell| {
+        let mut bufs = cell.borrow_mut();
+        let (pa, pb) = &mut *bufs;
+        f(aligned(pa, a_len), aligned(pb, b_len))
+    })
+}
+
+/// `C (+)= A @ B` for strided operands and a contiguous row-major `C`.
+///
+/// `a` holds an `m x k` matrix with element `(i, p)` at `a[i*rsa + p*csa]`;
+/// `b` holds a `k x n` matrix with element `(p, j)` at `b[p*rsb + j*csb]`.
+/// `c` is dense row-major `[m, n]`. With `accumulate == false` `C` is
+/// overwritten, otherwise the product is added to it — callers chain
+/// per-batch contributions (e.g. `conv2d_grad_weight`) without a separate
+/// accumulator pass.
+///
+/// Strides express transposes for free:
+///
+/// * `A` stored row-major `[m, k]`: `rsa = k, csa = 1`
+/// * `A` stored as its transpose `[k, m]`: `rsa = 1, csa = m`
+/// * likewise for `B`.
+///
+/// # Panics
+///
+/// Debug-asserts that the operand slices cover the strided extents and
+/// that `c.len() == m * n`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_strided(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    rsa: usize,
+    csa: usize,
+    b: &[f32],
+    rsb: usize,
+    csb: usize,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(c.len(), m * n, "gemm: C extent");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+
+    let mc = MC.min(m.next_multiple_of(MR));
+    let nc = NC.min(n.next_multiple_of(NR));
+    let kc = KC.min(k);
+
+    // Panels are padded to whole MR/NR multiples, so the scratch must be
+    // sized for the rounded-up extents.
+    let pa_len = mc.next_multiple_of(MR) * kc;
+    let pb_len = kc * nc.next_multiple_of(NR);
+    with_pack_buffers(pa_len, pb_len, |pa, pb| {
+        let mut jc = 0;
+        while jc < n {
+            let nb = nc.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kb = kc.min(k - pc);
+                // The first depth panel either overwrites C (accumulate
+                // off) or adds to the caller's C; later panels always add.
+                let add = accumulate || pc > 0;
+                pack_b(pb, b, rsb, csb, pc, kb, jc, nb);
+                let mut ic = 0;
+                while ic < m {
+                    let mb = mc.min(m - ic);
+                    pack_a(pa, a, rsa, csa, ic, mb, pc, kb);
+                    macro_kernel(pa, pb, mb, nb, kb, &mut c[ic * n..], n, jc, add);
+                    ic += mb;
+                }
+                pc += kb;
+            }
+            jc += nb;
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+/// Packs `A[ic..ic+mb, pc..pc+kb]` into MR-tall row micro-panels:
+/// panel `r` holds rows `ic + r*MR ..`, laid out column-by-column with the
+/// `MR` row values contiguous (zero-padded past the matrix edge).
+fn pack_a(
+    pa: &mut [f32],
+    a: &[f32],
+    rsa: usize,
+    csa: usize,
+    ic: usize,
+    mb: usize,
+    pc: usize,
+    kb: usize,
+) {
+    let mut out = 0;
+    let mut ir = 0;
+    while ir < mb {
+        let rows = MR.min(mb - ir);
+        for p in 0..kb {
+            let col = (pc + p) * csa;
+            let base = (ic + ir) * rsa + col;
+            for r in 0..rows {
+                pa[out + r] = a[base + r * rsa];
+            }
+            for r in rows..MR {
+                pa[out + r] = 0.0;
+            }
+            out += MR;
+        }
+        ir += rows;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+/// Packs `B[pc..pc+kb, jc..jc+nb]` into NR-wide column micro-panels:
+/// panel `j` holds columns `jc + j*NR ..`, laid out row-by-row with the
+/// `NR` column values contiguous (zero-padded past the matrix edge).
+fn pack_b(
+    pb: &mut [f32],
+    b: &[f32],
+    rsb: usize,
+    csb: usize,
+    pc: usize,
+    kb: usize,
+    jc: usize,
+    nb: usize,
+) {
+    let mut out = 0;
+    let mut jr = 0;
+    while jr < nb {
+        let cols = NR.min(nb - jr);
+        for p in 0..kb {
+            let base = (pc + p) * rsb + (jc + jr) * csb;
+            if csb == 1 {
+                // Unit column stride: a full-width panel row is a single
+                // contiguous copy (the common non-transposed case).
+                pb[out..out + cols].copy_from_slice(&b[base..base + cols]);
+            } else {
+                for j in 0..cols {
+                    pb[out + j] = b[base + j * csb];
+                }
+            }
+            for j in cols..NR {
+                pb[out + j] = 0.0;
+            }
+            out += NR;
+        }
+        jr += cols;
+    }
+}
+
+/// Runs the microkernel over every `MR x NR` tile of the packed panels.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    pa: &[f32],
+    pb: &[f32],
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    jc: usize,
+    add: bool,
+) {
+    let mut ir = 0;
+    while ir < mb {
+        let rows = MR.min(mb - ir);
+        let apanel = &pa[(ir / MR) * MR * kb..][..MR * kb];
+        let mut jr = 0;
+        while jr < nb {
+            let cols = NR.min(nb - jr);
+            let bpanel = &pb[(jr / NR) * NR * kb..][..NR * kb];
+            let acc = microkernel(apanel, bpanel);
+            // Spill the register tile into C's valid region.
+            for r in 0..rows {
+                let crow = &mut c[(ir + r) * ldc + jc + jr..][..cols];
+                if add {
+                    for (dst, &v) in crow.iter_mut().zip(acc[r].iter()) {
+                        *dst += v;
+                    }
+                } else {
+                    crow.copy_from_slice(&acc[r][..cols]);
+                }
+            }
+            jr += cols;
+        }
+        ir += rows;
+    }
+}
+
+/// Rank-1-update loop over the packed panels: `acc += a_col * b_row` for
+/// each depth step. `apanel` is `kb` groups of `MR` values, `bpanel` is
+/// `kb` groups of `NR` values. The accumulator is built locally and
+/// returned by value so LLVM promotes it to vector registers for the
+/// whole depth loop.
+#[inline]
+fn microkernel(apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (av, bv) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        let mut brow = [0.0f32; NR];
+        brow.copy_from_slice(bv);
+        for r in 0..MR {
+            let a = av[r];
+            for (dst, &b) in acc[r].iter_mut().zip(brow.iter()) {
+                // Explicit fused multiply-add: Rust never contracts
+                // `a * b + c` on its own, and without FMA the kernel is
+                // capped at half the machine's flops.
+                *dst = a.mul_add(b, *dst);
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn filled(len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 37 + 11) % 23) as f32 * 0.25 - 2.5)
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_across_sizes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (8, 16, 4),
+            (9, 17, 33),
+            (MR, NR, KC),
+            (MR + 1, NR + 1, 3),
+            (70, 40, 30),
+        ] {
+            let a = filled(m * k);
+            let b = filled(k * n);
+            let mut c = vec![0.0f32; m * n];
+            gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut c, false);
+            let want = reference(m, n, k, &a, &b);
+            for (got, want) in c.iter().zip(want.iter()) {
+                assert!(
+                    (got - want).abs() <= 1e-3 * (1.0 + want.abs()),
+                    "{m}x{n}x{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_strides_match_explicit_transpose() {
+        let (m, n, k) = (5, 6, 7);
+        let a = filled(m * k);
+        let b = filled(k * n);
+        // A stored transposed as [k, m].
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        // B stored transposed as [n, k].
+        let mut bt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let want = reference(m, n, k, &a, &b);
+        let mut c1 = vec![0.0f32; m * n];
+        gemm_strided(m, n, k, &at, 1, m, &b, n, 1, &mut c1, false);
+        let mut c2 = vec![0.0f32; m * n];
+        gemm_strided(m, n, k, &a, k, 1, &bt, 1, k, &mut c2, false);
+        for (got, want) in c1.iter().zip(want.iter()) {
+            assert!((got - want).abs() < 1e-4, "transposed A");
+        }
+        for (got, want) in c2.iter().zip(want.iter()) {
+            assert!((got - want).abs() < 1e-4, "transposed B");
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing_c() {
+        let (m, n, k) = (4, 4, 4);
+        let a = filled(m * k);
+        let b = filled(k * n);
+        let mut c = vec![1.0f32; m * n];
+        gemm_strided(m, n, k, &a, k, 1, &b, n, 1, &mut c, true);
+        let want = reference(m, n, k, &a, &b);
+        for (got, want) in c.iter().zip(want.iter()) {
+            assert!((got - (want + 1.0)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_k_clears_or_keeps_c() {
+        let mut c = vec![3.0f32; 4];
+        gemm_strided(2, 2, 0, &[], 1, 1, &[], 1, 1, &mut c, false);
+        assert_eq!(c, vec![0.0; 4]);
+        let mut c = vec![3.0f32; 4];
+        gemm_strided(2, 2, 0, &[], 1, 1, &[], 1, 1, &mut c, true);
+        assert_eq!(c, vec![3.0; 4]);
+    }
+}

@@ -5,10 +5,13 @@
 //! that demonstrates the paper's Section VII-D claim that Pipe-BD scheduling
 //! does not change training results.
 //!
-//! The design goals are determinism, correctness, and testability — not
-//! BLAS-level throughput. All kernels are written as explicit loops with a
-//! hand-written adjoint ("backward") kernel next to each forward kernel, and
-//! every adjoint is validated against finite differences in the test suite.
+//! The design goals are determinism, correctness, and testability first,
+//! throughput second. Every kernel has a hand-written adjoint ("backward")
+//! kernel next to it, validated against finite differences in the test
+//! suite — and the hot kernels (`matmul` family, `conv2d` family) come in
+//! two [`KernelPolicy`]-selected implementations: direct naive loops (the
+//! oracle) and a cache-blocked packed GEMM with an im2col convolution
+//! lowering (the default), property-tested to agree with the oracle.
 //!
 //! # Example
 //!
@@ -29,6 +32,9 @@
 
 mod conv;
 mod error;
+mod gemm;
+mod im2col;
+mod kernel;
 mod linalg;
 mod pool;
 mod rng;
@@ -36,8 +42,12 @@ mod shape;
 mod shared;
 mod tensor;
 
-pub use conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, Conv2dSpec};
+pub use conv::{
+    conv2d, conv2d_grad_input, conv2d_grad_input_with, conv2d_grad_weight, conv2d_grad_weight_with,
+    conv2d_with, Conv2dSpec,
+};
 pub use error::TensorError;
+pub use kernel::{kernel_policy, set_kernel_policy, KernelPolicy};
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
     max_pool2d_backward, MaxPoolIndices,

@@ -1,9 +1,15 @@
 //! Dense matrix products and bias helpers.
 //!
 //! These are the only "BLAS-like" kernels the NN layers need. All matrices
-//! are rank-2 tensors in row-major order.
+//! are rank-2 tensors in row-major order. The three products dispatch on
+//! the process [`KernelPolicy`]: the naive streaming loops are retained as
+//! the oracle, the default routes through the packed blocked GEMM (`gemm`
+//! module). Transposed variants never materialize a transpose under either
+//! policy.
 
 use crate::error::TensorError;
+use crate::gemm::gemm_strided;
+use crate::kernel::{kernel_policy, KernelPolicy};
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -27,6 +33,15 @@ impl Tensor {
     /// # }
     /// ```
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.matmul_with(other, kernel_policy())
+    }
+
+    /// [`Tensor::matmul`] with an explicit [`KernelPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_with(&self, other: &Tensor, policy: KernelPolicy) -> Result<Tensor, TensorError> {
         let (m, k) = rank2(self, "matmul")?;
         let (k2, n) = rank2(other, "matmul")?;
         if k != k2 {
@@ -39,17 +54,24 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: streams through b rows, cache friendly.
-        for i in 0..m {
-            for p in 0..k {
-                let aik = a[i * k + p];
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += aik * bv;
+        match policy {
+            KernelPolicy::Blocked => {
+                gemm_strided(m, n, k, a, k, 1, b, n, 1, &mut out, false);
+            }
+            KernelPolicy::Naive => {
+                // i-k-j loop order: streams through b rows, cache friendly.
+                for i in 0..m {
+                    for p in 0..k {
+                        let aik = a[i * k + p];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n..(p + 1) * n];
+                        let orow = &mut out[i * n..(i + 1) * n];
+                        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                            *o += aik * bv;
+                        }
+                    }
                 }
             }
         }
@@ -65,6 +87,19 @@ impl Tensor {
     ///
     /// Same conditions as [`Tensor::matmul`].
     pub fn matmul_t_a(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.matmul_t_a_with(other, kernel_policy())
+    }
+
+    /// [`Tensor::matmul_t_a`] with an explicit [`KernelPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_t_a_with(
+        &self,
+        other: &Tensor,
+        policy: KernelPolicy,
+    ) -> Result<Tensor, TensorError> {
         let (k, m) = rank2(self, "matmul_t_a")?;
         let (k2, n) = rank2(other, "matmul_t_a")?;
         if k != k2 {
@@ -77,16 +112,24 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
+        match policy {
+            KernelPolicy::Blocked => {
+                // A is stored [k, m]; strides express the transpose.
+                gemm_strided(m, n, k, a, 1, m, b, n, 1, &mut out, false);
+            }
+            KernelPolicy::Naive => {
+                for p in 0..k {
+                    let arow = &a[p * m..(p + 1) * m];
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (i, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut out[i * n..(i + 1) * n];
+                        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                            *o += av * bv;
+                        }
+                    }
                 }
             }
         }
@@ -102,6 +145,19 @@ impl Tensor {
     ///
     /// Same conditions as [`Tensor::matmul`].
     pub fn matmul_b_t(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.matmul_b_t_with(other, kernel_policy())
+    }
+
+    /// [`Tensor::matmul_b_t`] with an explicit [`KernelPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_b_t_with(
+        &self,
+        other: &Tensor,
+        policy: KernelPolicy,
+    ) -> Result<Tensor, TensorError> {
         let (m, k) = rank2(self, "matmul_b_t")?;
         let (n, k2) = rank2(other, "matmul_b_t")?;
         if k != k2 {
@@ -114,15 +170,23 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                    acc += av * bv;
+        match policy {
+            KernelPolicy::Blocked => {
+                // B is stored [n, k]; strides express the transpose.
+                gemm_strided(m, n, k, a, k, 1, b, 1, k, &mut out, false);
+            }
+            KernelPolicy::Naive => {
+                for i in 0..m {
+                    let arow = &a[i * k..(i + 1) * k];
+                    for j in 0..n {
+                        let brow = &b[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                            acc += av * bv;
+                        }
+                        out[i * n + j] = acc;
+                    }
                 }
-                out[i * n + j] = acc;
             }
         }
         Tensor::from_vec(out, &[m, n])

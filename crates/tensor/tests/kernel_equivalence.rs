@@ -1,0 +1,151 @@
+//! Property tests pinning the blocked compute plane to the naive oracle.
+//!
+//! Every hot kernel exists twice (see `KernelPolicy`): the naive direct
+//! loops and the im2col/blocked-GEMM path. These properties sample
+//! convolution geometries across strides, paddings, group counts
+//! (including depthwise), and non-square inputs, and assert the blocked
+//! forward and both adjoints match the oracle within tight tolerance —
+//! the two paths sum identical products in the same per-element order, so
+//! they may differ only by FMA rounding contraction.
+//!
+//! The explicit `*_with` kernel variants are used throughout: tests run
+//! concurrently and must not touch the process-global policy.
+
+use pipebd_tensor::{
+    conv2d_grad_input_with, conv2d_grad_weight_with, conv2d_with, Conv2dSpec, KernelPolicy, Rng64,
+    Tensor,
+};
+use proptest::prelude::*;
+
+/// Asserts the blocked result matches the oracle within FMA-contraction
+/// tolerance.
+fn assert_close(naive: &Tensor, blocked: &Tensor, what: &str) {
+    assert_eq!(naive.dims(), blocked.dims(), "{what} dims");
+    let scale = 1.0 + naive.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let diff = naive.max_abs_diff(blocked).unwrap();
+    assert!(
+        diff <= 1e-4 * scale,
+        "{what}: max diff {diff} (scale {scale})"
+    );
+}
+
+/// Builds a spec from sampled raw components; `groups` is 1 (dense), 2
+/// (grouped), or `in_channels` (depthwise) depending on the selector.
+fn spec_from(
+    gsel: usize,
+    cim: usize,
+    com: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+) -> Conv2dSpec {
+    let groups = match gsel {
+        0 => 1,
+        1 => 2,
+        // Depthwise: one channel per group on both sides.
+        _ => 2 * cim,
+    };
+    let (in_channels, out_channels) = if gsel == 2 {
+        (2 * cim, 2 * cim)
+    } else {
+        (groups * cim, groups * com)
+    };
+    Conv2dSpec {
+        in_channels,
+        out_channels,
+        kernel: k,
+        stride,
+        padding,
+        groups,
+    }
+}
+
+/// Runs all three kernels under both policies and cross-checks them.
+fn check_all(spec: Conv2dSpec, n: usize, h: usize, w: usize, seed: u64) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let x = Tensor::randn(&[n, spec.in_channels, h, w], &mut rng);
+    let wt = Tensor::randn(&spec.weight_dims(), &mut rng);
+    let naive = conv2d_with(&x, &wt, spec, KernelPolicy::Naive).unwrap();
+    let blocked = conv2d_with(&x, &wt, spec, KernelPolicy::Blocked).unwrap();
+    assert_close(&naive, &blocked, "conv2d forward");
+
+    let dy = Tensor::randn(naive.dims(), &mut rng);
+    let ni = conv2d_grad_input_with(&dy, &wt, spec, (h, w), KernelPolicy::Naive).unwrap();
+    let bi = conv2d_grad_input_with(&dy, &wt, spec, (h, w), KernelPolicy::Blocked).unwrap();
+    assert_close(&ni, &bi, "conv2d grad input");
+
+    let nw = conv2d_grad_weight_with(&x, &dy, spec, KernelPolicy::Naive).unwrap();
+    let bw = conv2d_grad_weight_with(&x, &dy, spec, KernelPolicy::Blocked).unwrap();
+    assert_close(&nw, &bw, "conv2d grad weight");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn conv_kernels_blocked_match_naive(
+        gsel in 0usize..3,
+        cim in 1usize..4,
+        com in 1usize..4,
+        k in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..3,
+        n in 1usize..3,
+        h in 3usize..8,
+        w in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Non-square inputs arise whenever h != w; groups cover dense,
+        // grouped, and depthwise convolutions.
+        let spec = spec_from(gsel, cim, com, k, stride, padding);
+        prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+        check_all(spec, n, h, w, seed);
+    }
+
+    #[test]
+    fn strided_padded_depthwise_blocked_matches_naive(
+        channels in 1usize..5,
+        k in 1usize..4,
+        stride in 1usize..4,
+        h in 3usize..7,
+        w in 3usize..7,
+        seed in any::<u64>(),
+    ) {
+        // Dedicated depthwise coverage (groups == channels) with "same"
+        // padding — the DS-Conv building block of the compression
+        // workload.
+        let spec = Conv2dSpec::depthwise(channels, k, stride, k / 2);
+        check_all(spec, 2, h, w, seed);
+    }
+
+    #[test]
+    fn matmul_family_blocked_matches_naive(
+        m in 1usize..41,
+        k in 1usize..41,
+        n in 1usize..41,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        assert_close(
+            &a.matmul_with(&b, KernelPolicy::Naive).unwrap(),
+            &a.matmul_with(&b, KernelPolicy::Blocked).unwrap(),
+            "matmul",
+        );
+
+        let at = Tensor::randn(&[k, m], &mut rng);
+        assert_close(
+            &at.matmul_t_a_with(&b, KernelPolicy::Naive).unwrap(),
+            &at.matmul_t_a_with(&b, KernelPolicy::Blocked).unwrap(),
+            "matmul_t_a",
+        );
+
+        let bt = Tensor::randn(&[n, k], &mut rng);
+        assert_close(
+            &a.matmul_b_t_with(&bt, KernelPolicy::Naive).unwrap(),
+            &a.matmul_b_t_with(&bt, KernelPolicy::Blocked).unwrap(),
+            "matmul_b_t",
+        );
+    }
+}
