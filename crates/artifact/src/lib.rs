@@ -1,0 +1,57 @@
+//! The artifact plane: durable, machine-readable run and bench records.
+//!
+//! Every figure bin, bench, and schedule search in this workspace used to
+//! print human text and exit; the numbers lived on only as prose in
+//! `EXPERIMENTS.md`. This crate gives them a persistent form: an
+//! [`ArtifactStore`] writes schema-tagged, versioned JSON envelopes under
+//! `target/artifacts/` and reads them back with drift checks, so measured
+//! profiles can feed the scheduler (PipeDream-style measured-profile
+//! workflows) and bench baselines can be tracked in-repo.
+//!
+//! # Envelope format
+//!
+//! ```json
+//! {
+//!   "schema": "pipebd.run_report",
+//!   "version": 1,
+//!   "name": "fig2_motivation",
+//!   "created_unix_s": 1753000000,
+//!   "payload": { ... }
+//! }
+//! ```
+//!
+//! `schema` and `version` come from the payload type's
+//! [`ArtifactPayload`] impl; [`ArtifactStore::load`] rejects mismatches
+//! ([`ArtifactError::Schema`] / [`ArtifactError::Version`]) so a payload
+//! struct can only evolve together with a version bump.
+
+mod payload;
+mod store;
+
+pub use payload::{
+    BenchKernels, BenchRecord, BenchSuite, BlockCost, CostProfile, KernelComparison, RunSet,
+};
+pub use store::{ArtifactError, ArtifactMeta, ArtifactStore};
+
+use pipebd_core::RunReport;
+use pipebd_sched::StagePlan;
+use serde::{de::DeserializeOwned, Serialize};
+
+/// A type that can be persisted as a schema-tagged artifact.
+pub trait ArtifactPayload: Serialize + DeserializeOwned {
+    /// Schema identifier stamped into the envelope (e.g.
+    /// `"pipebd.run_report"`).
+    const SCHEMA: &'static str;
+    /// Schema version; bump when the payload layout changes.
+    const VERSION: u32;
+}
+
+impl ArtifactPayload for RunReport {
+    const SCHEMA: &'static str = "pipebd.run_report";
+    const VERSION: u32 = 1;
+}
+
+impl ArtifactPayload for StagePlan {
+    const SCHEMA: &'static str = "pipebd.schedule_plan";
+    const VERSION: u32 = 1;
+}

@@ -1,7 +1,12 @@
 //! Microbenches of the substrates: tensor kernels, the event engine, plan
 //! enumeration, the profiler, and the executor relay data plane.
+//!
+//! Instead of `criterion_main!`, this bench drives the shim's `Criterion`
+//! explicitly so it can persist every measurement as the `BENCH_e2e.json`
+//! baseline through the artifact store (a shim extension; swap back to
+//! `criterion_group!`/`criterion_main!` when the real criterion lands).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 use pipebd_core::exec::{threaded, FuncConfig};
 use pipebd_data::SyntheticImageDataset;
 use pipebd_models::{mini_student_dsconv, mini_teacher, MiniConfig, Workload};
@@ -218,13 +223,31 @@ fn bench_exec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_tensor,
-    bench_kernel_policies,
-    bench_engine,
-    bench_sched,
-    bench_relay,
-    bench_exec
-);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_tensor(&mut criterion);
+    bench_kernel_policies(&mut criterion);
+    bench_engine(&mut criterion);
+    bench_sched(&mut criterion);
+    bench_relay(&mut criterion);
+    bench_exec(&mut criterion);
+
+    // Persist the run as the end-to-end bench baseline.
+    let records: Vec<pipebd_artifact::BenchRecord> = criterion
+        .results()
+        .iter()
+        .map(|r| pipebd_artifact::BenchRecord {
+            id: r.id.clone(),
+            mean_ns: r.mean_ns,
+            iters: r.iters,
+        })
+        .collect();
+    pipebd_bench::persist(
+        "BENCH_e2e",
+        &pipebd_artifact::BenchSuite {
+            suite: "micro".into(),
+            kernel_policy: pipebd_tensor::kernel_policy().to_string(),
+            records,
+        },
+    );
+}

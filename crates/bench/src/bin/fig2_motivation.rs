@@ -6,7 +6,7 @@
 //! part measured in isolation on one device at full batch, divided by 4);
 //! and Pipe-BD's per-rank bars, which should sit close to the ideal.
 
-use pipebd_bench::{bar, experiment, fmt_paper_time, header, HARNESS_ROUNDS};
+use pipebd_bench::{bar, experiment, fmt_paper_time, header, persist_run_set, HARNESS_ROUNDS};
 use pipebd_core::Strategy;
 use pipebd_models::Workload;
 use pipebd_sched::CostModel;
@@ -104,5 +104,11 @@ fn main() {
         "Ideal epoch   : {}   (sum of isolated parts / {})",
         fmt_paper_time(ideal_load + ideal_teacher + ideal_student),
         hw.num_gpus
+    );
+
+    persist_run_set(
+        "fig2_motivation",
+        "DP baseline vs Pipe-BD epoch breakdown, NAS/CIFAR-10, 4x A6000, batch 256",
+        vec![dp, pb],
     );
 }

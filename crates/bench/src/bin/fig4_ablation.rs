@@ -4,7 +4,7 @@
 //! (4× A6000, batch 256): speedup of LS, TR, TR+DPU, TR+IR, and
 //! TR+DPU+AHD over the DP baseline.
 
-use pipebd_bench::{bar, experiment, header, run_all};
+use pipebd_bench::{bar, experiment, header, persist_run_set, run_all};
 use pipebd_core::Strategy;
 use pipebd_models::Workload;
 use pipebd_sim::HardwareConfig;
@@ -30,12 +30,14 @@ fn main() {
         ),
     ];
 
+    let mut all_reports = Vec::new();
     for (panel, workloads) in panels {
         println!("\n{panel}");
         for w in workloads {
             let label = w.label();
             let e = experiment(w, hw.clone(), 256);
             let results = run_all(&e);
+            all_reports.extend(results.iter().map(|(_, r)| r.clone()));
             let dp = results
                 .iter()
                 .find(|(s, _)| *s == Strategy::DataParallel)
@@ -59,4 +61,10 @@ fn main() {
     println!("  NAS/ImageNet          Pipe-BD 4.38x over DP, LS 0.50x (see EXPERIMENTS.md)");
     println!("  Compression/CIFAR-10  Pipe-BD 7.32x over DP, LS 2.01x");
     println!("  Compression/ImageNet  Pipe-BD 3.78x over DP, LS 0.40x (see EXPERIMENTS.md)");
+
+    persist_run_set(
+        "fig4_ablation",
+        "all strategies on all four workloads, 4x A6000, batch 256",
+        all_reports,
+    );
 }

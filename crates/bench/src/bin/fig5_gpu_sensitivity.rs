@@ -7,7 +7,7 @@
 //! *different* schedules per GPU type, with a wider early split on the
 //! A6000).
 
-use pipebd_bench::{bar, experiment, header, run_all};
+use pipebd_bench::{bar, experiment, header, persist, persist_run_set, run_all};
 use pipebd_core::Strategy;
 use pipebd_models::Workload;
 use pipebd_sim::HardwareConfig;
@@ -24,9 +24,11 @@ fn main() {
     ];
 
     println!("\n(a) Speedup over DP");
+    let mut all_reports = Vec::new();
     for (name, hw) in &servers {
         let e = experiment(Workload::nas_imagenet(), hw.clone(), 256);
         let results = run_all(&e);
+        all_reports.extend(results.iter().map(|(_, r)| r.clone()));
         let dp = results
             .iter()
             .find(|(s, _)| *s == Strategy::DataParallel)
@@ -46,6 +48,12 @@ fn main() {
     for (name, hw) in &servers {
         let e = experiment(Workload::nas_imagenet(), hw.clone(), 256);
         let decision = e.ahd_decision();
+        // The per-server AHD schedule is an artifact of its own: the
+        // paper's Fig. 5b/5c claim is exactly that these two differ.
+        persist(
+            &format!("fig5_plan_{}", name.to_ascii_lowercase()),
+            &decision.plan,
+        );
         println!(
             "\n({}) {name} schedule chosen by AHD:",
             if *name == "2080Ti" { 'b' } else { 'c' }
@@ -69,4 +77,10 @@ fn main() {
     let tw = t.plan.stage_of_block(0).expect("block 0 placed").width();
     println!("Measured: A6000 block-0 width {aw}, 2080Ti block-0 width {tw}");
     assert!(aw >= tw, "A6000 must split block 0 at least as wide");
+
+    persist_run_set(
+        "fig5_gpu_sensitivity",
+        "all strategies on NAS/ImageNet, 2080Ti and A6000 servers, batch 256",
+        all_reports,
+    );
 }

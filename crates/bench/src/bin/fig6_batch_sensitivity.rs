@@ -5,7 +5,7 @@
 //! size is normalized against DP *at that batch size*, exactly as in the
 //! paper.
 
-use pipebd_bench::{experiment, header};
+use pipebd_bench::{experiment, header, persist_run_set};
 use pipebd_core::Strategy;
 use pipebd_models::Workload;
 use pipebd_sim::HardwareConfig;
@@ -25,6 +25,7 @@ fn main() {
         &format!("{}, normalized to DP at each batch size", hw.label()),
     );
 
+    let mut all_reports = Vec::new();
     for (panel, workload) in [
         ("(a) CIFAR-10", Workload::nas_cifar10()),
         ("(b) ImageNet", Workload::nas_imagenet()),
@@ -42,9 +43,15 @@ fn main() {
                 .run(Strategy::DataParallel)
                 .expect("DP lowers at all batch sizes");
             for (s, row) in &mut table {
-                let x = e.run(*s).map(|r| r.speedup_over(&dp)).unwrap_or(f64::NAN);
+                let report = e.run(*s).ok();
+                let x = report
+                    .as_ref()
+                    .map(|r| r.speedup_over(&dp))
+                    .unwrap_or(f64::NAN);
                 row.push(x);
+                all_reports.extend(report);
             }
+            all_reports.push(dp);
         }
         for (s, row) in &table {
             print!("  {:11}", s.label());
@@ -76,4 +83,10 @@ fn main() {
             }
         }
     }
+
+    persist_run_set(
+        "fig6_batch_sensitivity",
+        "NAS workloads at batch 128/256/384/512, 4x A6000",
+        all_reports,
+    );
 }

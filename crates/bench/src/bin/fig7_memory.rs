@@ -5,7 +5,7 @@
 //! average memory overhead of full Pipe-BD over DP (the paper reports
 //! +8.7% on CIFAR-10 and +21.3% on ImageNet).
 
-use pipebd_bench::{bar, experiment, header};
+use pipebd_bench::{bar, experiment, header, persist_run_set};
 use pipebd_core::Strategy;
 use pipebd_models::Workload;
 use pipebd_sim::HardwareConfig;
@@ -25,6 +25,7 @@ fn main() {
         &format!("{}, batch 256; TR/TR+DPU shown as TR+DPU", hw.label()),
     );
 
+    let mut all_reports = Vec::new();
     for (panel, workload) in [
         ("(a) CIFAR-10", Workload::nas_cifar10()),
         ("(b) ImageNet", Workload::nas_imagenet()),
@@ -89,5 +90,12 @@ fn main() {
             tr.memory_per_rank[0] as f64 / GIB,
             pb.memory_per_rank[0] as f64 / GIB
         );
+        all_reports.extend(rows.into_iter().map(|(_, r)| r));
     }
+
+    persist_run_set(
+        "fig7_memory",
+        "per-rank peak memory, NAS workloads, 4x A6000, batch 256",
+        all_reports,
+    );
 }

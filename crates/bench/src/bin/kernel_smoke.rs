@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use pipebd_artifact::{BenchKernels, KernelComparison};
 use pipebd_tensor::{
     conv2d_grad_input_with, conv2d_grad_weight_with, conv2d_with, Conv2dSpec, KernelPolicy, Rng64,
     Tensor,
@@ -75,6 +76,7 @@ fn main() {
     ];
 
     let mut failed = false;
+    let mut comparisons = Vec::new();
     for (name, run) in &cases {
         let naive = time(|| run(KernelPolicy::Naive), 5, 3);
         let blocked = time(|| run(KernelPolicy::Blocked), 5, 3);
@@ -85,10 +87,26 @@ fn main() {
             naive * 1e6,
             blocked * 1e6,
         );
+        comparisons.push(KernelComparison {
+            kernel: (*name).to_string(),
+            naive_ns: (naive * 1e9) as u64,
+            blocked_ns: (blocked * 1e9) as u64,
+            speedup,
+        });
         if speedup < 1.0 {
             failed = true;
         }
     }
+
+    // The baseline is written even on regression, so a failing run still
+    // leaves the measured numbers behind for diagnosis.
+    pipebd_bench::persist(
+        "BENCH_kernels",
+        &BenchKernels {
+            kernel_policy: pipebd_tensor::kernel_policy().to_string(),
+            cases: comparisons,
+        },
+    );
 
     if failed {
         eprintln!("kernel smoke FAILED: blocked kernel slower than the naive oracle");

@@ -8,7 +8,7 @@
 //! threaded Pipe-BD executor on the miniature functional models, which the
 //! paper's Section VII-D argues must be zero.
 
-use pipebd_bench::{experiment, fmt_paper_time, header};
+use pipebd_bench::{experiment, fmt_paper_time, header, persist_run_set};
 use pipebd_core::exec::{reference, threaded, FuncConfig};
 use pipebd_core::Strategy;
 use pipebd_data::SyntheticImageDataset;
@@ -34,6 +34,7 @@ fn main() {
         "\n{:22} {:>10} {:>10} {:>10} {:>10} | {:>12} {:>12} {:>12}",
         "task/dataset", "T params", "T MACs", "S params", "S MACs", "DP", "LS", "Pipe-BD"
     );
+    let mut all_reports = Vec::new();
     for w in [
         Workload::nas_cifar10(),
         Workload::nas_imagenet(),
@@ -55,6 +56,7 @@ fn main() {
             fmt_paper_time(ls.epoch_time_s()),
             fmt_paper_time(pb.epoch_time_s()),
         );
+        all_reports.extend([dp, ls, pb]);
     }
 
     println!("\nPaper elapsed times (Table II):");
@@ -97,4 +99,10 @@ fn main() {
     );
     assert_eq!(diff, 0.0, "Pipe-BD must not change training results");
     println!("  => identical training results, as the paper claims (accuracy unchanged).");
+
+    persist_run_set(
+        "table2_results",
+        "DP/LS/Pipe-BD epoch times on all four workloads, 4x A6000, batch 256",
+        all_reports,
+    );
 }

@@ -7,9 +7,11 @@
 
 #![warn(missing_docs)]
 
+use pipebd_artifact::{ArtifactPayload, ArtifactStore, RunSet};
 use pipebd_core::{Experiment, ExperimentBuilder, RunReport, Strategy};
 use pipebd_models::Workload;
 use pipebd_sim::HardwareConfig;
+use std::path::PathBuf;
 
 /// Number of rounds the harness simulates before extrapolating to a full
 /// epoch (large enough that pipeline fill is <2% of the span).
@@ -68,6 +70,36 @@ pub fn header(title: &str, detail: &str) {
     println!("{detail}");
     println!("kernel policy: {}", pipebd_tensor::kernel_policy());
     println!("================================================================");
+}
+
+/// Persists a payload through the default [`ArtifactStore`]
+/// (`target/artifacts/`, overridable via `PIPEBD_ARTIFACT_DIR`) and prints
+/// the path. Artifacts are part of every figure bin's contract — the
+/// `artifact_smoke` CI lane re-parses them — so a write failure aborts the
+/// bin.
+///
+/// # Panics
+///
+/// Panics if the artifact cannot be written.
+pub fn persist<T: ArtifactPayload>(name: &str, payload: &T) -> PathBuf {
+    let path = ArtifactStore::from_env()
+        .save(name, payload)
+        .unwrap_or_else(|e| panic!("failed to write artifact `{name}`: {e}"));
+    println!("artifact: {}", path.display());
+    path
+}
+
+/// Bundles a figure bin's reports into its [`RunSet`] artifact and
+/// persists it under the figure's name.
+pub fn persist_run_set(figure: &str, description: &str, reports: Vec<RunReport>) -> PathBuf {
+    persist(
+        figure,
+        &RunSet {
+            figure: figure.to_string(),
+            description: description.to_string(),
+            reports,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -15,6 +15,18 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// One completed measurement (a shim extension over the real criterion:
+/// the artifact plane persists bench baselines from these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub id: String,
+    /// Mean time per iteration, in nanoseconds.
+    pub mean_ns: u64,
+    /// Number of timed iterations behind the mean.
+    pub iters: u64,
+}
+
 /// Entry point handed to benchmark functions.
 #[derive(Debug, Clone)]
 pub struct Criterion {
@@ -22,6 +34,8 @@ pub struct Criterion {
     measurement_time: Duration,
     /// Maximum number of timed iterations per benchmark.
     max_iters: u64,
+    /// All measurements so far, in execution order.
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -29,6 +43,7 @@ impl Default for Criterion {
         Self {
             measurement_time: Duration::from_millis(300),
             max_iters: 30,
+            results: Vec::new(),
         }
     }
 }
@@ -44,13 +59,27 @@ impl Criterion {
             budget: self.measurement_time,
             max_iters: self.max_iters,
             mean: None,
+            iters: 0,
         };
         f(&mut b);
         match b.mean {
-            Some(mean) => eprintln!("{id:<50} time: {mean:?}"),
+            Some(mean) => {
+                eprintln!("{id:<50} time: {mean:?}");
+                self.results.push(BenchResult {
+                    id: id.to_string(),
+                    mean_ns: u64::try_from(mean.as_nanos()).unwrap_or(u64::MAX),
+                    iters: b.iters,
+                });
+            }
             None => eprintln!("{id:<50} (no measurement: Bencher::iter never called)"),
         }
         self
+    }
+
+    /// All measurements recorded so far (shim extension; the real
+    /// criterion reports through its own output files instead).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Opens a named group; benchmark ids are prefixed with `name/`.
@@ -101,6 +130,7 @@ pub struct Bencher {
     budget: Duration,
     max_iters: u64,
     mean: Option<Duration>,
+    iters: u64,
 }
 
 impl Bencher {
@@ -117,6 +147,7 @@ impl Bencher {
             black_box(routine());
             iters += 1;
         }
+        self.iters = iters;
         self.mean = Some(started.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX));
     }
 }

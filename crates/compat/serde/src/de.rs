@@ -1,0 +1,636 @@
+//! Deserialization half of the data model: [`Deserialize`],
+//! [`Deserializer`], [`Visitor`], and the access traits a format uses to
+//! hand compound values to a visitor.
+
+use std::fmt::{self, Display};
+
+/// Error raised by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// The input held a value of the wrong kind.
+    fn invalid_type(unexpected: &str, expected: &str) -> Self {
+        Self::custom(format!("invalid type: {unexpected}, expected {expected}"))
+    }
+
+    /// The input held a value of the right kind but an unusable content.
+    fn invalid_value(unexpected: &str, expected: &str) -> Self {
+        Self::custom(format!("invalid value: {unexpected}, expected {expected}"))
+    }
+
+    /// A sequence ended before all required elements were read.
+    fn invalid_length(len: usize, expected: &str) -> Self {
+        Self::custom(format!("invalid length {len}, expected {expected}"))
+    }
+
+    /// An enum variant name was not recognized.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+
+    /// A required struct field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+
+    /// A struct field appeared twice.
+    fn duplicate_field(field: &'static str) -> Self {
+        Self::custom(format!("duplicate field `{field}`"))
+    }
+}
+
+/// A data structure that can be built from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error when the input does not describe a valid
+    /// `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A data format that can drive a [`Visitor`] from its input.
+///
+/// The shim targets self-describing formats only: every hint method
+/// defaults to [`Deserializer::deserialize_any`], with
+/// [`Deserializer::deserialize_option`] and
+/// [`Deserializer::deserialize_enum`] the two shape-changing exceptions a
+/// format must implement itself.
+pub trait Deserializer<'de>: Sized {
+    /// Error type raised by this format.
+    type Error: Error;
+
+    /// Dispatches on whatever the input holds next.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific; also any error the visitor raises.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Distinguishes an absent value ([`Visitor::visit_none`]) from a
+    /// present one ([`Visitor::visit_some`]).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific; also any error the visitor raises.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes an enum, handing the visitor an [`EnumAccess`].
+    ///
+    /// # Errors
+    ///
+    /// Format-specific; also any error the visitor raises.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Hint: a struct with the given fields is expected.
+    ///
+    /// # Errors
+    ///
+    /// See [`Deserializer::deserialize_any`].
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Hint: a sequence is expected.
+    ///
+    /// # Errors
+    ///
+    /// See [`Deserializer::deserialize_any`].
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Hint: a map is expected.
+    ///
+    /// # Errors
+    ///
+    /// See [`Deserializer::deserialize_any`].
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Hint: a string is expected.
+    ///
+    /// # Errors
+    ///
+    /// See [`Deserializer::deserialize_any`].
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Hint: a unit value is expected.
+    ///
+    /// # Errors
+    ///
+    /// See [`Deserializer::deserialize_any`].
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+}
+
+/// Renders a visitor's [`Visitor::expecting`] message as a `String`.
+fn expected<'de, V: Visitor<'de>>(visitor: &V) -> String {
+    struct Adapter<'a, 'de, V: Visitor<'de>>(&'a V, std::marker::PhantomData<&'de ()>);
+    impl<'de, V: Visitor<'de>> Display for Adapter<'_, 'de, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.expecting(f)
+        }
+    }
+    Adapter(visitor, std::marker::PhantomData).to_string()
+}
+
+/// Receives the value a [`Deserializer`] found in its input.
+///
+/// Every `visit_*` method defaults to a type error built from
+/// [`Visitor::expecting`]; implementations override exactly the shapes
+/// they accept.
+pub trait Visitor<'de>: Sized {
+    /// The value this visitor produces.
+    type Value;
+
+    /// Writes "what was expected" for error messages.
+    ///
+    /// # Errors
+    ///
+    /// Standard formatter errors.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Visits a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_bool<E: Error>(self, _v: bool) -> Result<Self::Value, E> {
+        Err(E::invalid_type("a boolean", &expected(&self)))
+    }
+
+    /// Visits a signed integer.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_i64<E: Error>(self, _v: i64) -> Result<Self::Value, E> {
+        Err(E::invalid_type("an integer", &expected(&self)))
+    }
+
+    /// Visits an unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+        Err(E::invalid_type("an unsigned integer", &expected(&self)))
+    }
+
+    /// Visits a floating-point number.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_f64<E: Error>(self, _v: f64) -> Result<Self::Value, E> {
+        Err(E::invalid_type("a float", &expected(&self)))
+    }
+
+    /// Visits a borrowed string.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        Err(E::invalid_type("a string", &expected(&self)))
+    }
+
+    /// Visits an owned string (defaults to [`Visitor::visit_str`]).
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits a unit / null value.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("a unit value", &expected(&self)))
+    }
+
+    /// Visits an absent optional.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type("an absent value", &expected(&self)))
+    }
+
+    /// Visits a present optional.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(D::Error::invalid_type("a present value", &expected(&self)))
+    }
+
+    /// Visits a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type("a sequence", &expected(&self)))
+    }
+
+    /// Visits a map.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type("a map", &expected(&self)))
+    }
+
+    /// Visits an enum.
+    ///
+    /// # Errors
+    ///
+    /// Type error by default.
+    fn visit_enum<A: EnumAccess<'de>>(self, _access: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::invalid_type("an enum", &expected(&self)))
+    }
+}
+
+/// Lets a visitor pull elements out of a sequence.
+pub trait SeqAccess<'de> {
+    /// Error type of the driving format.
+    type Error: Error;
+
+    /// Next element, or `None` at the end of the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific; also element deserialization errors.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+
+    /// Number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Lets a visitor pull `key: value` entries out of a map.
+///
+/// Simplified from real serde: keys are always borrowed strings (all
+/// workspace formats are JSON-shaped), so there is no key-seed machinery.
+pub trait MapAccess<'de> {
+    /// Error type of the driving format.
+    type Error: Error;
+
+    /// Next key, or `None` at the end of the map.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn next_key(&mut self) -> Result<Option<&'de str>, Self::Error>;
+
+    /// Value of the entry whose key was just read.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific; also value deserialization errors.
+    fn next_value<T: Deserialize<'de>>(&mut self) -> Result<T, Self::Error>;
+
+    /// Discards the value of the entry whose key was just read (unknown
+    /// fields are skipped, matching real serde's default).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn skip_value(&mut self) -> Result<(), Self::Error>;
+
+    /// Number of remaining entries, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Lets a visitor split an enum into its variant name and content.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type of the driving format.
+    type Error: Error;
+    /// Accessor for the variant's content.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Reads the variant name and returns the content accessor.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn variant(self) -> Result<(&'de str, Self::Variant), Self::Error>;
+}
+
+/// Lets a visitor deserialize the content of one enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type of the driving format.
+    type Error: Error;
+
+    /// Confirms the variant carries no data.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the input attached content to the variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserializes the single field of a newtype variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific; also field deserialization errors.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error>;
+
+    /// Drives `visitor` over the fields of a tuple variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific; also any error the visitor raises.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Drives `visitor` over the named fields of a struct variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific; also any error the visitor raises.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations for the std types the workspace persists.
+// ---------------------------------------------------------------------------
+
+struct BoolVisitor;
+
+impl Visitor<'_> for BoolVisitor {
+    type Value = bool;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a boolean")
+    }
+    fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+        Ok(v)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_any(BoolVisitor)
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct IntVisitor;
+                    impl Visitor<'_> for IntVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str(concat!("an integer fitting ", stringify!($ty)))
+                        }
+                        fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                            <$ty>::try_from(v).map_err(|_| {
+                                E::invalid_value(&format!("integer `{v}`"), stringify!($ty))
+                            })
+                        }
+                        fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                            <$ty>::try_from(v).map_err(|_| {
+                                E::invalid_value(&format!("integer `{v}`"), stringify!($ty))
+                            })
+                        }
+                    }
+                    deserializer.deserialize_any(IntVisitor)
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_float {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct FloatVisitor;
+                    impl Visitor<'_> for FloatVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str(concat!("a number convertible to ", stringify!($ty)))
+                        }
+                        fn visit_f64<E: Error>(self, v: f64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_u64<E: Error>(self, v: u64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_i64<E: Error>(self, v: i64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                    }
+                    deserializer.deserialize_any(FloatVisitor)
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_float!(f32, f64);
+
+struct StringVisitor;
+
+impl Visitor<'_> for StringVisitor {
+    type Value = String;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a string")
+    }
+    fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+        Ok(v.to_owned())
+    }
+    fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+        Ok(v)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_str(StringVisitor)
+    }
+}
+
+struct CharVisitor;
+
+impl Visitor<'_> for CharVisitor {
+    type Value = char;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a one-character string")
+    }
+    fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+        let mut chars = v.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(E::invalid_value(
+                &format!("string {v:?}"),
+                "a single character",
+            )),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_str(CharVisitor)
+    }
+}
+
+struct UnitVisitor;
+
+impl Visitor<'_> for UnitVisitor {
+    type Value = ();
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a unit value")
+    }
+    fn visit_unit<E: Error>(self) -> Result<(), E> {
+        Ok(())
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an optional value")
+            }
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(std::marker::PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(std::marker::PhantomData))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct PairVisitor<A, B>(std::marker::PhantomData<(A, B)>);
+        impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Visitor<'de> for PairVisitor<A, B> {
+            type Value = (A, B);
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a two-element sequence")
+            }
+            fn visit_seq<S: SeqAccess<'de>>(self, mut seq: S) -> Result<(A, B), S::Error> {
+                let a = seq
+                    .next_element()?
+                    .ok_or_else(|| S::Error::invalid_length(0, "a pair"))?;
+                let b = seq
+                    .next_element()?
+                    .ok_or_else(|| S::Error::invalid_length(1, "a pair"))?;
+                Ok((a, b))
+            }
+        }
+        deserializer.deserialize_seq(PairVisitor(std::marker::PhantomData))
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<V>(std::marker::PhantomData<V>);
+        impl<'de, V: Deserialize<'de>> Visitor<'de> for MapVisitor<V> {
+            type Value = std::collections::BTreeMap<String, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some(key) = map.next_key()? {
+                    let value = map.next_value()?;
+                    out.insert(key.to_owned(), value);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(std::marker::PhantomData))
+    }
+}

@@ -1,37 +1,32 @@
-//! Offline stand-in for the `serde` crate.
+//! Offline stand-in for the `serde` crate — now with a **functional data
+//! model**, not just marker traits.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on its config and
-//! report types so they are ready for a real serialization backend, but
-//! no code path actually serializes yet (there is no `serde_json` in the
-//! tree). This shim therefore provides the two traits with blanket
-//! implementations — every type trivially satisfies any
-//! `T: Serialize` / `T: Deserialize` bound — plus no-op derive macros,
-//! keeping the source-level API identical to the real crate so it can be
-//! swapped in without touching any call site.
+//! Earlier revisions of this shim provided blanket-implemented marker
+//! traits so the workspace's `#[derive(Serialize, Deserialize)]`
+//! annotations compiled without a backend. Since the JSON backend landed
+//! (`crates/json`), the shim implements the real serde architecture in
+//! miniature:
+//!
+//! * [`Serialize`] drives a [`Serializer`] describing the value through
+//!   typed calls (`serialize_u64`, `serialize_struct`, …);
+//! * [`Deserialize`] hands a [`de::Visitor`] to a [`Deserializer`], which
+//!   dispatches on the input's actual shape (visitor-style value
+//!   dispatch) through [`de::SeqAccess`] / [`de::MapAccess`] /
+//!   [`de::EnumAccess`].
+//!
+//! The derive macros (`crates/compat/serde_derive`) generate real
+//! field-by-field implementations against these traits, so call sites are
+//! identical to the real crate for the subset the workspace uses.
+//! Deliberate simplifications versus real serde: no `*_seed` variants
+//! (map keys are always borrowed `&str`s), no zero-copy `visit_borrowed_*`
+//! distinction, no `u128`/`i128`/byte-buffer methods, and self-describing
+//! formats only (the hint methods default to [`Deserializer::deserialize_any`]).
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`; satisfied by every type.
-pub trait Serialize {}
+pub mod ser;
 
-impl<T: ?Sized> Serialize for T {}
+pub mod de;
 
-/// Marker stand-in for `serde::Deserialize<'de>`; satisfied by every type.
-pub trait Deserialize<'de> {}
-
-impl<'de, T: ?Sized> Deserialize<'de> for T {}
-
-/// Marker stand-in for `serde::de::DeserializeOwned`.
-pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
-
-impl<T> DeserializeOwned for T {}
-
-/// Stand-in for the `serde::de` module path.
-pub mod de {
-    pub use super::{Deserialize, DeserializeOwned};
-}
-
-/// Stand-in for the `serde::ser` module path.
-pub mod ser {
-    pub use super::Serialize;
-}
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};

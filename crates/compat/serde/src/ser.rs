@@ -1,0 +1,518 @@
+//! Serialization half of the data model: [`Serialize`], [`Serializer`],
+//! and the compound-serializer traits.
+
+use std::fmt::Display;
+
+/// Error raised by a [`Serializer`].
+///
+/// Formats provide their own concrete error type; the only requirement is
+/// that data-structure code can create one from a message.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can describe itself to any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error the serializer raises.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can receive any value [`Serialize`] describes.
+///
+/// Mirrors `serde::Serializer` minus the seed/borrow machinery: tuples are
+/// serialized through [`Serializer::serialize_seq`], and there are no
+/// 128-bit or byte-string methods (nothing in the workspace uses them).
+pub trait Serializer: Sized {
+    /// Output produced on success (`()` for writers, a value tree for
+    /// value builders).
+    type Ok;
+    /// Error type raised by this format.
+    type Error: Error;
+    /// Compound serializer for sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for maps with arbitrary keys.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for structs with named fields.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for tuple enum variants.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for struct enum variants.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes an `i64` (all narrower signed integers widen to this).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `u64` (all narrower unsigned integers widen to this).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes an `f32`. Defaults to widening; formats that care about
+    /// shortest round-trip text (JSON) override it.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_f64(f64::from(v))
+    }
+
+    /// Serializes an `i8`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+
+    /// Serializes an `i16`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+
+    /// Serializes an `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+
+    /// Serializes a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+
+    /// Serializes a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+
+    /// Serializes a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+
+    /// Serializes a `char` (as a one-character string by default).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error> {
+        self.serialize_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+
+    /// Serializes a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes the unit value `()`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes `Option::None`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes `Option::Some(value)`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a unit struct (`struct Marker;`).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_unit()
+    }
+
+    /// Serializes a newtype struct as its inner value.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error> {
+        value.serialize(self)
+    }
+
+    /// Serializes a dataless enum variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a one-field tuple enum variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+
+    /// Begins serializing a sequence of `len` elements (if known).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+
+    /// Begins serializing a map of `len` entries (if known).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+
+    /// Begins serializing a struct with `len` named fields.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+
+    /// Begins serializing a tuple enum variant with `len` fields.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+
+    /// Begins serializing a struct enum variant with `len` named fields.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+}
+
+/// Compound serializer returned by [`Serializer::serialize_seq`].
+pub trait SerializeSeq {
+    /// Matches [`Serializer::Ok`].
+    type Ok;
+    /// Matches [`Serializer::Error`].
+    type Error: Error;
+
+    /// Serializes one element.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+    /// Finishes the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer returned by [`Serializer::serialize_map`].
+pub trait SerializeMap {
+    /// Matches [`Serializer::Ok`].
+    type Ok;
+    /// Matches [`Serializer::Error`].
+    type Error: Error;
+
+    /// Serializes one `key: value` entry.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+
+    /// Finishes the map.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer returned by [`Serializer::serialize_struct`].
+pub trait SerializeStruct {
+    /// Matches [`Serializer::Ok`].
+    type Ok;
+    /// Matches [`Serializer::Error`].
+    type Error: Error;
+
+    /// Serializes one named field.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+
+    /// Finishes the struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer returned by [`Serializer::serialize_tuple_variant`].
+pub trait SerializeTupleVariant {
+    /// Matches [`Serializer::Ok`].
+    type Ok;
+    /// Matches [`Serializer::Error`].
+    type Error: Error;
+
+    /// Serializes one positional field.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+    /// Finishes the variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer returned by [`Serializer::serialize_struct_variant`].
+pub trait SerializeStructVariant {
+    /// Matches [`Serializer::Ok`].
+    type Ok;
+    /// Matches [`Serializer::Error`].
+    type Error: Error;
+
+    /// Serializes one named field.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+
+    /// Finishes the variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize implementations for the std types the workspace persists.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_primitive {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.$method(*self)
+                }
+            }
+        )*
+    };
+}
+
+impl_serialize_primitive! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(2))?;
+        seq.serialize_element(&self.0)?;
+        seq.serialize_element(&self.1)?;
+        seq.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}

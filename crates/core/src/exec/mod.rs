@@ -63,6 +63,7 @@ use pipebd_data::SyntheticImageDataset;
 use pipebd_nn::BlockNet;
 use pipebd_sched::StagePlan;
 use pipebd_tensor::TensorError;
+use serde::{Deserialize, Serialize};
 
 /// Error raised by an executor.
 #[derive(Debug)]
@@ -237,5 +238,56 @@ impl Executor for ThreadedExecutor {
         cfg: &FuncConfig,
     ) -> Result<FuncOutcome, ExecError> {
         threaded::run(teacher, student, data, cfg)
+    }
+}
+
+/// Which [`Executor`] implementation drives functional runs — the
+/// `Experiment` facade's executor-selection knob, recorded in every
+/// persisted [`RunReport`](crate::RunReport) so an artifact names the
+/// execution engine behind its numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutorChoice {
+    /// Golden sequential semantics ([`ReferenceExecutor`]).
+    Reference,
+    /// Real multi-threaded pipeline ([`ThreadedExecutor`]); the default.
+    #[default]
+    Threaded,
+}
+
+impl ExecutorChoice {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutorChoice::Reference => "reference",
+            ExecutorChoice::Threaded => "threaded",
+        }
+    }
+
+    /// Constructs the chosen executor.
+    pub fn executor(&self) -> Box<dyn Executor> {
+        match self {
+            ExecutorChoice::Reference => Box::new(ReferenceExecutor),
+            ExecutorChoice::Threaded => Box::new(ThreadedExecutor),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutorChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ExecutorChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "reference" => Ok(ExecutorChoice::Reference),
+            "threaded" => Ok(ExecutorChoice::Threaded),
+            other => Err(format!(
+                "unknown executor `{other}` (expected `reference` or `threaded`)"
+            )),
+        }
     }
 }

@@ -5,6 +5,7 @@ use pipebd_models::Workload;
 use pipebd_sched::{ahd, AhdDecision, CostModel, Profiler};
 use pipebd_sim::{render_gantt, simulate, Breakdown, HardwareConfig, SimTime};
 
+use crate::exec::{Executor, ExecutorChoice};
 use crate::lower::{lower, Lowering};
 use crate::memory::memory_per_rank;
 use crate::report::RunReport;
@@ -29,6 +30,7 @@ pub struct ExperimentBuilder {
     hw: HardwareConfig,
     batch: usize,
     sim_rounds: u32,
+    executor: ExecutorChoice,
 }
 
 impl ExperimentBuilder {
@@ -39,6 +41,7 @@ impl ExperimentBuilder {
             hw: HardwareConfig::a6000_server(4),
             batch: 256,
             sim_rounds: 32,
+            executor: ExecutorChoice::default(),
         }
     }
 
@@ -87,6 +90,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Selects which functional [`Executor`] backs
+    /// [`Experiment::functional_executor`]; recorded in every
+    /// [`RunReport`] so persisted artifacts name their execution engine.
+    pub fn executor(mut self, executor: ExecutorChoice) -> Self {
+        self.executor = executor;
+        self
+    }
+
     /// Validates and builds the experiment.
     ///
     /// # Errors
@@ -112,6 +123,7 @@ impl ExperimentBuilder {
             hw: self.hw,
             batch: self.batch,
             sim_rounds: self.sim_rounds,
+            executor: self.executor,
         })
     }
 }
@@ -123,6 +135,7 @@ pub struct Experiment {
     hw: HardwareConfig,
     batch: usize,
     sim_rounds: u32,
+    executor: ExecutorChoice,
 }
 
 impl Experiment {
@@ -139,6 +152,19 @@ impl Experiment {
     /// The global batch size.
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// The configured functional-executor choice.
+    pub fn executor_choice(&self) -> ExecutorChoice {
+        self.executor
+    }
+
+    /// Constructs the configured functional [`Executor`] (first step of
+    /// wiring the executor trait through the facade: callers running the
+    /// real threaded pipeline select the engine here instead of naming
+    /// `exec::threaded` directly).
+    pub fn functional_executor(&self) -> Box<dyn Executor> {
+        self.executor.executor()
     }
 
     /// Rounds per epoch (`steps_per_epoch × rounds_per_step`).
@@ -175,6 +201,7 @@ impl Experiment {
 
         let mut report = RunReport {
             strategy,
+            executor: self.executor,
             workload: self.workload.label(),
             hardware: self.hw.label(),
             global_batch: self.batch,
@@ -264,6 +291,29 @@ mod tests {
             let chart = e.gantt(s, 60).unwrap();
             assert!(chart.contains("gpu0"), "{s} chart missing rows");
         }
+    }
+
+    #[test]
+    fn executor_choice_flows_into_reports() {
+        let e = ExperimentBuilder::new(Workload::synthetic(6, false))
+            .sim_rounds(4)
+            .executor(ExecutorChoice::Reference)
+            .build()
+            .unwrap();
+        assert_eq!(e.executor_choice(), ExecutorChoice::Reference);
+        assert_eq!(e.functional_executor().name(), "reference");
+        let r = e.run(Strategy::TrDpu).unwrap();
+        assert_eq!(r.executor, ExecutorChoice::Reference);
+        // Default is the threaded pipeline.
+        let d = ExperimentBuilder::new(Workload::synthetic(6, false))
+            .sim_rounds(4)
+            .build()
+            .unwrap();
+        assert_eq!(d.functional_executor().name(), "threaded");
+        assert_eq!(
+            d.run(Strategy::TrDpu).unwrap().executor,
+            ExecutorChoice::Threaded
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod memory;
 mod report;
 mod strategy;
 
+pub use exec::{Executor, ExecutorChoice};
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentError};
 pub use memory::memory_per_rank;
 pub use report::RunReport;

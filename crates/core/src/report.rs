@@ -4,13 +4,20 @@ use pipebd_sched::{LsAssignment, StagePlan};
 use pipebd_sim::{Breakdown, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::exec::ExecutorChoice;
 use crate::strategy::Strategy;
 
 /// The outcome of simulating one strategy.
+///
+/// Persisted as a schema-tagged JSON artifact by the artifact plane
+/// (`pipebd_artifact`); every field round-trips exactly (times are integer
+/// nanoseconds), so a reloaded report compares equal to the original.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Which strategy ran.
     pub strategy: Strategy,
+    /// Which functional executor the experiment was configured with.
+    pub executor: ExecutorChoice,
     /// Workload identifier (e.g. `"NAS/cifar10"`).
     pub workload: String,
     /// Hardware identifier (e.g. `"4x RTX A6000"`).
@@ -94,6 +101,7 @@ mod tests {
     fn dummy(strategy: Strategy, epoch_s: f64, mem: Vec<u64>) -> RunReport {
         RunReport {
             strategy,
+            executor: ExecutorChoice::default(),
             workload: "test".into(),
             hardware: "test".into(),
             global_batch: 256,

@@ -1,0 +1,221 @@
+//! Deserialization: driving a serde [`Visitor`] from a parsed [`Value`]
+//! tree.
+//!
+//! [`from_str`] parses text into a [`Value`] and hands each node to the
+//! target type's visitor — JSON is self-describing, so
+//! [`serde::Deserializer::deserialize_any`] dispatch covers every shape,
+//! with options (`null` vs present) and externally tagged enums handled
+//! specially.
+
+use serde::de::{
+    DeserializeOwned, EnumAccess, Error as DeError, MapAccess, SeqAccess, VariantAccess, Visitor,
+};
+use serde::{Deserialize, Deserializer};
+
+use crate::error::Error;
+use crate::value::{Number, Value};
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+///
+/// Returns a syntax error from [`crate::parse`] or a data-model error
+/// when the document does not match `T`.
+pub fn from_str<T: DeserializeOwned>(input: &str) -> Result<T, Error> {
+    let value = crate::parse(input)?;
+    from_value(&value)
+}
+
+/// Deserializes a value from a parsed [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a data-model error when the tree does not match `T`.
+pub fn from_value<'de, T: Deserialize<'de>>(value: &'de Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer { value })
+}
+
+/// [`Deserializer`] over a borrowed [`Value`] node.
+struct ValueDeserializer<'de> {
+    value: &'de Value,
+}
+
+/// Human-readable kind of a value, for error messages.
+fn kind(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => format!("boolean `{b}`"),
+        Value::Number(n) => {
+            let mut s = String::from("number `");
+            crate::render::push_number(&mut s, *n);
+            s.push('`');
+            s
+        }
+        Value::String(s) => format!("string {s:?}"),
+        Value::Array(_) => "an array".to_string(),
+        Value::Object(_) => "an object".to_string(),
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.value {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(*b),
+            Value::Number(Number::PosInt(v)) => visitor.visit_u64(*v),
+            Value::Number(Number::NegInt(v)) => visitor.visit_i64(*v),
+            Value::Number(Number::Float(v)) => visitor.visit_f64(*v),
+            Value::String(s) => visitor.visit_str(s),
+            Value::Array(items) => visitor.visit_seq(SeqDeserializer { iter: items.iter() }),
+            Value::Object(entries) => visitor.visit_map(MapDeserializer {
+                iter: entries.iter(),
+                value: None,
+            }),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.value {
+            Value::Null => visitor.visit_none(),
+            _ => visitor.visit_some(self),
+        }
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        match self.value {
+            Value::String(s) => visitor.visit_enum(EnumDeserializer {
+                variant: s,
+                value: None,
+            }),
+            Value::Object(entries) if entries.len() == 1 => visitor.visit_enum(EnumDeserializer {
+                variant: &entries[0].0,
+                value: Some(&entries[0].1),
+            }),
+            other => Err(Error::invalid_type(
+                &kind(other),
+                &format!("enum {name} (a variant string or single-key object)"),
+            )),
+        }
+    }
+}
+
+struct SeqDeserializer<'de> {
+    iter: std::slice::Iter<'de, Value>,
+}
+
+impl<'de> SeqAccess<'de> for SeqDeserializer<'de> {
+    type Error = Error;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        self.iter
+            .next()
+            .map(|value| T::deserialize(ValueDeserializer { value }))
+            .transpose()
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct MapDeserializer<'de> {
+    iter: std::slice::Iter<'de, (String, Value)>,
+    value: Option<&'de Value>,
+}
+
+impl<'de> MapAccess<'de> for MapDeserializer<'de> {
+    type Error = Error;
+
+    fn next_key(&mut self) -> Result<Option<&'de str>, Error> {
+        match self.iter.next() {
+            Some((key, value)) => {
+                self.value = Some(value);
+                Ok(Some(key.as_str()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_value<T: Deserialize<'de>>(&mut self) -> Result<T, Error> {
+        let value = self
+            .value
+            .take()
+            .ok_or_else(|| Error::custom("next_value called before next_key"))?;
+        T::deserialize(ValueDeserializer { value })
+    }
+
+    fn skip_value(&mut self) -> Result<(), Error> {
+        self.value.take();
+        Ok(())
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct EnumDeserializer<'de> {
+    variant: &'de str,
+    value: Option<&'de Value>,
+}
+
+impl<'de> EnumAccess<'de> for EnumDeserializer<'de> {
+    type Error = Error;
+    type Variant = VariantDeserializer<'de>;
+
+    fn variant(self) -> Result<(&'de str, VariantDeserializer<'de>), Error> {
+        Ok((self.variant, VariantDeserializer { value: self.value }))
+    }
+}
+
+struct VariantDeserializer<'de> {
+    value: Option<&'de Value>,
+}
+
+impl<'de> VariantAccess<'de> for VariantDeserializer<'de> {
+    type Error = Error;
+
+    fn unit_variant(self) -> Result<(), Error> {
+        match self.value {
+            None => Ok(()),
+            Some(v) => Err(Error::invalid_type(&kind(v), "no content (unit variant)")),
+        }
+    }
+
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Error> {
+        match self.value {
+            Some(value) => T::deserialize(ValueDeserializer { value }),
+            None => Err(Error::custom("expected newtype variant content")),
+        }
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, Error> {
+        match self.value {
+            Some(Value::Array(items)) => visitor.visit_seq(SeqDeserializer { iter: items.iter() }),
+            Some(other) => Err(Error::invalid_type(&kind(other), "tuple variant array")),
+            None => Err(Error::custom("expected tuple variant content")),
+        }
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        match self.value {
+            Some(Value::Object(entries)) => visitor.visit_map(MapDeserializer {
+                iter: entries.iter(),
+                value: None,
+            }),
+            Some(other) => Err(Error::invalid_type(&kind(other), "struct variant object")),
+            None => Err(Error::custom("expected struct variant content")),
+        }
+    }
+}

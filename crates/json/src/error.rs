@@ -1,0 +1,45 @@
+//! The crate-wide error type, usable as both a serde serialization and
+//! deserialization error.
+
+use std::fmt;
+
+/// Error raised by JSON parsing, rendering, or the serde bridge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Data-model error (wrong type, missing field, …) with a message.
+    Message(String),
+    /// Syntax error at a 1-based line and column of the input text.
+    Syntax {
+        /// 1-based line of the offending byte.
+        line: usize,
+        /// 1-based column (in bytes) of the offending byte.
+        col: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Message(msg) => f.write_str(msg),
+            Error::Syntax { line, col, msg } => {
+                write!(f, "JSON syntax error at line {line}, column {col}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}

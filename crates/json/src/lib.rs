@@ -1,0 +1,45 @@
+//! JSON backend for the Pipe-BD artifact plane.
+//!
+//! A small, dependency-free `serde_json` analogue built against the
+//! vendored `serde` data model (`crates/compat/serde`):
+//!
+//! * [`Value`] / [`Number`] — an order-preserving JSON document tree;
+//! * [`parse`] — a recursive-descent tokenizer/parser with full string
+//!   escape handling (including `\uXXXX` surrogate pairs) and a nesting
+//!   depth limit;
+//! * [`to_string`] / [`to_string_pretty`] — streaming serializers writing
+//!   compact or indented text straight from any `T: Serialize`;
+//! * [`to_value`] / [`from_value`] / [`from_str`] — the serde bridge in
+//!   and out of [`Value`] trees.
+//!
+//! # Number round-tripping
+//!
+//! Integers keep their signedness ([`Number::PosInt`] / [`Number::NegInt`]
+//! cover the full `u64` / `i64` ranges — no silent routing through `f64`),
+//! and floats render with Rust's shortest-round-trip `Display` plus a
+//! forced `.0` suffix so they re-parse as floats. `f32` values take the
+//! shortest-`f32` form on **both** paths — the streaming writer formats
+//! from the `f32` formatter directly, and [`to_value`] stores the `f64`
+//! that text reparses to, so `to_value(v) == parse(&to_string(v))` holds
+//! and a persisted `f32` reparses bit-for-bit (shortest decimal for an
+//! `f32` identifies it uniquely, and the parse's correctly rounded `f64`
+//! narrows back without double-rounding error). Non-finite floats
+//! serialize as `null` (JSON has no NaN/Inf; matching `serde_json`), and
+//! deserializing `null` into a float is an error — the policy is lossy by
+//! construction and tests pin it.
+
+pub mod de;
+mod error;
+mod parse;
+pub mod render;
+pub mod ser;
+mod value;
+
+pub use de::{from_str, from_value};
+pub use error::Error;
+pub use parse::parse;
+pub use ser::{to_string, to_string_pretty, to_value};
+pub use value::{Number, Value};
+
+/// Maximum nesting depth accepted by [`parse`] (arrays + objects).
+pub const MAX_DEPTH: usize = 128;

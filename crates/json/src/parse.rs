@@ -1,0 +1,430 @@
+//! Recursive-descent JSON parser.
+//!
+//! Strictly RFC 8259-shaped: one top-level value, full escape handling
+//! (`\uXXXX` including surrogate pairs), no trailing commas, no comments.
+//! Nesting is bounded by [`crate::MAX_DEPTH`] so a hostile artifact file
+//! cannot overflow the stack.
+
+use crate::error::Error;
+use crate::value::{Number, Value};
+use crate::MAX_DEPTH;
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// Returns [`Error::Syntax`] with 1-based line/column on malformed input,
+/// including trailing garbage after the top-level value.
+pub fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        let consumed = &self.input[..self.pos.min(self.input.len())];
+        let line = consumed.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = consumed.len() - consumed.rfind('\n').map_or(0, |i| i + 1) + 1;
+        Error::Syntax {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(&self.input[run_start..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.input[run_start..self.pos]);
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                    run_start = self.pos;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match esc {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.parse_hex4()?;
+                let c = if (0xD800..=0xDBFF).contains(&hi) {
+                    // High surrogate: a low surrogate escape must follow.
+                    if self.peek() != Some(b'\\') {
+                        return Err(self.err("unpaired surrogate in \\u escape"));
+                    }
+                    self.pos += 1;
+                    if self.peek() != Some(b'u') {
+                        return Err(self.err("unpaired surrogate in \\u escape"));
+                    }
+                    self.pos += 1;
+                    let lo = self.parse_hex4()?;
+                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                        return Err(self.err("invalid low surrogate in \\u escape"));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else if (0xDC00..=0xDFFF).contains(&hi) {
+                    return Err(self.err("unpaired low surrogate in \\u escape"));
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                };
+                out.push(c);
+            }
+            _ => return Err(self.err("unknown escape sequence")),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        // Decode byte-by-byte: slicing `input` here could split a
+        // multibyte character (e.g. `\u12é`) and panic on the char
+        // boundary instead of reporting a syntax error.
+        let mut v: u32 = 0;
+        for &b in &self.bytes[self.pos..end] {
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex in \\u escape"))?;
+            v = (v << 4) | digit;
+        }
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if !is_float {
+            if negative {
+                match text.parse::<i64>() {
+                    // `-0` normalizes to PosInt(0): NegInt holds strictly
+                    // negative values, and rendering would otherwise drop
+                    // the sign and break parse(render(v)) == v.
+                    Ok(0) => return Ok(Value::Number(Number::PosInt(0))),
+                    Ok(v) => return Ok(Value::Number(Number::NegInt(v))),
+                    Err(_) => {}
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            // Integer literal beyond 64-bit range: fall through to f64.
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err("number out of representable range"))?;
+        if !v.is_finite() {
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(Value::Number(Number::Float(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Number(Number::PosInt(42)));
+        assert_eq!(parse("-7").unwrap(), Value::Number(Number::NegInt(-7)));
+        assert_eq!(parse("2.5").unwrap(), Value::Number(Number::Float(2.5)));
+        assert_eq!(parse("1e3").unwrap(), Value::Number(Number::Float(1000.0)));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn full_integer_ranges_survive() {
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::Number(Number::PosInt(u64::MAX))
+        );
+        assert_eq!(
+            parse("-9223372036854775808").unwrap(),
+            Value::Number(Number::NegInt(i64::MIN))
+        );
+        // One past u64::MAX falls back to f64 rather than erroring.
+        assert!(matches!(
+            parse("18446744073709551616").unwrap(),
+            Value::Number(Number::Float(_))
+        ));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        assert_eq!(
+            parse(r#""a\"b\\c\/d\n\t\r\b\f""#).unwrap(),
+            Value::String("a\"b\\c/d\n\t\r\u{8}\u{c}".into())
+        );
+        // BMP escape: U+00E9.
+        assert_eq!(parse("\"\\u00e9\"").unwrap(), Value::String("é".into()));
+        // Surrogate pair escape: U+1F600.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::String("😀".into())
+        );
+        // Raw multibyte passes through.
+        assert_eq!(
+            parse("\"héllo😀\"").unwrap(),
+            Value::String("héllo😀".into())
+        );
+    }
+
+    #[test]
+    fn malformed_escape_before_multibyte_is_an_error_not_a_panic() {
+        // A short \u escape running into a multibyte char must not slice
+        // the input mid-character.
+        assert!(parse("\"\\u12é\"").is_err());
+        assert!(parse("\"\\u12😀\"").is_err());
+        assert!(parse("\"\\uéééé\"").is_err());
+        // ...while a correct escape right before multibyte text is fine.
+        assert_eq!(parse("\"\\u0041é\"").unwrap(), Value::String("Aé".into()));
+    }
+
+    #[test]
+    fn negative_zero_literal_normalizes_to_pos_int() {
+        // NegInt holds strictly negative values; `-0` must round-trip.
+        let v = parse("-0").unwrap();
+        assert_eq!(v, Value::Number(Number::PosInt(0)));
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+        // Float -0.0 keeps its sign (distinct from the integer case).
+        assert_eq!(parse("-0.0").unwrap(), Value::Number(Number::Float(-0.0)));
+    }
+
+    #[test]
+    fn surrogate_errors() {
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ud83dx""#).is_err());
+        assert!(parse(r#""\ud83dA""#).is_err());
+        assert!(parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn structures() {
+        let v = parse(r#"{"a": [1, 2.0, "x"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn syntax_errors_carry_position() {
+        let err = parse("{\n  \"a\": tru\n}").unwrap_err();
+        match err {
+            Error::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("[1] x").is_err());
+        assert!(parse("01").is_err());
+        assert!(parse("+1").is_err());
+        assert!(parse("\"\u{1}\"").is_err());
+    }
+
+    #[test]
+    fn depth_limit_guards_the_stack() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&too_deep).is_err());
+    }
+}

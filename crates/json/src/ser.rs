@@ -1,0 +1,639 @@
+//! Serialization: a streaming writer emitting JSON text directly from any
+//! `T: Serialize`, and a value builder producing [`Value`] trees.
+
+use serde::ser::{
+    SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTupleVariant,
+};
+use serde::{Serialize, Serializer};
+
+use crate::error::Error;
+use crate::render::{push_escaped, push_f32, push_f64};
+use crate::value::{Number, Value};
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Propagates errors raised by the value's [`Serialize`] implementation
+/// (the writer itself is infallible).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut writer = Writer::new(None);
+    value.serialize(&mut writer)?;
+    Ok(writer.out)
+}
+
+/// Serializes a value to pretty (2-space indented) JSON text.
+///
+/// # Errors
+///
+/// Same as [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut writer = Writer::new(Some(2));
+    value.serialize(&mut writer)?;
+    Ok(writer.out)
+}
+
+/// Serializes a value into a [`Value`] tree.
+///
+/// `f32` values are stored as the `f64` their shortest text form reparses
+/// to, so this tree equals `parse(to_string(value))` exactly — and
+/// narrowing on deserialization still recovers the original `f32` bits.
+///
+/// # Errors
+///
+/// Propagates errors raised by the value's [`Serialize`] implementation.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming text writer
+// ---------------------------------------------------------------------------
+
+/// The streaming JSON writer. Use through [`to_string`] /
+/// [`to_string_pretty`].
+struct Writer {
+    out: String,
+    indent: Option<usize>,
+    level: usize,
+}
+
+impl Writer {
+    fn new(indent: Option<usize>) -> Self {
+        Writer {
+            out: String::new(),
+            indent,
+            level: 0,
+        }
+    }
+
+    fn newline_indent(&mut self) {
+        if let Some(width) = self.indent {
+            self.out.push('\n');
+            for _ in 0..self.level * width {
+                self.out.push(' ');
+            }
+        }
+    }
+
+    /// Writes the separator before an element and tracks first-ness.
+    fn element_prefix(&mut self, first: &mut bool) {
+        if !*first {
+            self.out.push(',');
+        }
+        *first = false;
+        self.newline_indent();
+    }
+
+    fn open(&mut self, c: char) {
+        self.out.push(c);
+        self.level += 1;
+    }
+
+    /// Closes a `[`/`{` opened with [`Writer::open`]; `empty` suppresses
+    /// the inner newline so empty containers render as `[]` / `{}`.
+    fn close(&mut self, c: char, empty: bool) {
+        self.level -= 1;
+        if !empty {
+            self.newline_indent();
+        }
+        self.out.push(c);
+    }
+
+    fn key(&mut self, key: &str) {
+        push_escaped(&mut self.out, key);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+    }
+}
+
+/// Compound state for sequences, structs, maps, and variants.
+struct Compound<'a> {
+    writer: &'a mut Writer,
+    first: bool,
+    /// Closing delimiters, innermost last (`}` alone, or `}` + `}` for
+    /// externally tagged variants which open two objects).
+    closers: &'static str,
+}
+
+impl Compound<'_> {
+    fn finish(self) -> Result<(), Error> {
+        let empty = self.first;
+        let mut closers = self.closers.chars();
+        if let Some(c) = closers.next() {
+            self.writer.close(c, empty);
+        }
+        for c in closers {
+            // Outer closers of a variant wrapper always hold the key.
+            self.writer.close(c, false);
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Serializer for &'a mut Writer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        push_f64(&mut self.out, v);
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        push_f32(&mut self.out, v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        push_escaped(&mut self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        push_escaped(&mut self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.open('{');
+        self.newline_indent();
+        self.key(variant);
+        value.serialize(&mut *self)?;
+        self.close('}', false);
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.open('[');
+        Ok(Compound {
+            writer: self,
+            first: true,
+            closers: "]",
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.open('{');
+        Ok(Compound {
+            writer: self,
+            first: true,
+            closers: "}",
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.open('{');
+        Ok(Compound {
+            writer: self,
+            first: true,
+            closers: "}",
+        })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.open('{');
+        self.newline_indent();
+        self.key(variant);
+        self.open('[');
+        Ok(Compound {
+            writer: self,
+            first: true,
+            closers: "]}",
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.open('{');
+        self.newline_indent();
+        self.key(variant);
+        self.open('{');
+        Ok(Compound {
+            writer: self,
+            first: true,
+            closers: "}}",
+        })
+    }
+}
+
+impl SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.writer.element_prefix(&mut self.first);
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        self.writer.element_prefix(&mut self.first);
+        // Map keys must render as strings; serialize the key and reject
+        // anything that did not produce a quoted string.
+        let before = self.writer.out.len();
+        key.serialize(&mut *self.writer)?;
+        if !self.writer.out[before..].starts_with('"') {
+            return Err(serde::ser::Error::custom("JSON map keys must be strings"));
+        }
+        self.writer.out.push(':');
+        if self.writer.indent.is_some() {
+            self.writer.out.push(' ');
+        }
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.writer.element_prefix(&mut self.first);
+        self.writer.key(key);
+        value.serialize(&mut *self.writer)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value builder
+// ---------------------------------------------------------------------------
+
+/// Serializer producing a [`Value`] tree. Use through [`to_value`].
+struct ValueSerializer;
+
+/// Compound state while building an array value.
+struct ValueSeq {
+    items: Vec<Value>,
+    /// For tuple variants: wrap the finished array as `{variant: [...]}`.
+    variant: Option<&'static str>,
+}
+
+/// Compound state while building an object value.
+struct ValueObject {
+    entries: Vec<(String, Value)>,
+    /// For struct variants: wrap the finished object as `{variant: {...}}`.
+    variant: Option<&'static str>,
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = ValueSeq;
+    type SerializeMap = ValueObject;
+    type SerializeStruct = ValueObject;
+    type SerializeTupleVariant = ValueSeq;
+    type SerializeStructVariant = ValueObject;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(if v >= 0 {
+            Number::PosInt(v as u64)
+        } else {
+            Number::NegInt(v)
+        }))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::PosInt(v)))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Number::from_f64(v).map_or(Value::Null, Value::Number))
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<Value, Error> {
+        if !v.is_finite() {
+            return Ok(Value::Null);
+        }
+        // Store the f64 that the shortest-f32 *text* reparses to, so the
+        // tree path (`to_value`, used by the artifact store) and the text
+        // path (`to_string`) produce identical JSON for the same value.
+        // Plain widening (`v as f64`) would render 17-digit decimals in
+        // artifacts while the streaming writer emits "0.1".
+        let reparsed: f64 = v.to_string().parse().unwrap_or_else(|_| f64::from(v));
+        Ok(Value::Number(Number::Float(reparsed)))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_owned()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::String(variant.to_owned()))
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        Ok(Value::Object(vec![(
+            variant.to_owned(),
+            value.serialize(ValueSerializer)?,
+        )]))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeq, Error> {
+        Ok(ValueSeq {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+            variant: None,
+        })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<ValueObject, Error> {
+        Ok(ValueObject {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+            variant: None,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ValueObject, Error> {
+        Ok(ValueObject {
+            entries: Vec::with_capacity(len),
+            variant: None,
+        })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<ValueSeq, Error> {
+        Ok(ValueSeq {
+            items: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<ValueObject, Error> {
+        Ok(ValueObject {
+            entries: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+}
+
+fn wrap_variant(variant: Option<&'static str>, value: Value) -> Value {
+    match variant {
+        Some(name) => Value::Object(vec![(name.to_owned(), value)]),
+        None => value,
+    }
+}
+
+impl SerializeSeq for ValueSeq {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(wrap_variant(self.variant, Value::Array(self.items)))
+    }
+}
+
+impl SerializeTupleVariant for ValueSeq {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        SerializeSeq::end(self)
+    }
+}
+
+impl SerializeMap for ValueObject {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        let key = match key.serialize(ValueSerializer)? {
+            Value::String(s) => s,
+            _ => return Err(serde::ser::Error::custom("JSON map keys must be strings")),
+        };
+        let value = value.serialize(ValueSerializer)?;
+        self.entries.push((key, value));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(wrap_variant(self.variant, Value::Object(self.entries)))
+    }
+}
+
+impl SerializeStruct for ValueObject {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        let value = value.serialize(ValueSerializer)?;
+        self.entries.push((key.to_owned(), value));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(wrap_variant(self.variant, Value::Object(self.entries)))
+    }
+}
+
+impl SerializeStructVariant for ValueObject {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        SerializeStruct::end(self)
+    }
+}
+
+/// [`Serialize`] for [`Value`] itself, so artifact envelopes can embed
+/// already-built trees.
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Number(Number::PosInt(v)) => serializer.serialize_u64(*v),
+            Value::Number(Number::NegInt(v)) => serializer.serialize_i64(*v),
+            Value::Number(Number::Float(v)) => serializer.serialize_f64(*v),
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    serde::ser::SerializeSeq::serialize_element(&mut seq, item)?;
+                }
+                serde::ser::SerializeSeq::end(seq)
+            }
+            Value::Object(entries) => {
+                let mut map = serializer.serialize_map(Some(entries.len()))?;
+                for (k, v) in entries {
+                    serde::ser::SerializeMap::serialize_entry(&mut map, k, v)?;
+                }
+                serde::ser::SerializeMap::end(map)
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The JSON document tree.
+
+use std::fmt;
+
+/// A JSON number.
+///
+/// Integers without a decimal point or exponent keep their integer
+/// identity (full `u64` / `i64` range, no `f64` precision loss); anything
+/// with a `.` or exponent is a float. The distinction is part of value
+/// equality, which is what makes `parse(render(v)) == v` exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A finite float (non-finite values have no JSON form; see
+    /// [`Number::from_f64`]).
+    Float(f64),
+}
+
+impl Number {
+    /// Wraps a float, returning `None` for NaN/±Inf (no JSON form).
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number::Float(v))
+    }
+
+    /// The value as an `f64` (integers may round for magnitudes beyond
+    /// 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// A JSON value.
+///
+/// Objects preserve insertion order (entries are a `Vec`, not a sorted
+/// map), so rendering a parsed document reproduces its key order and
+/// serialized structs keep their declaration order on disk.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object (linear scan; artifact objects are
+    /// small). Returns `None` for non-objects and absent keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object entries, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders the compact form (same as [`crate::render::compact`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::render::compact(self))
+    }
+}
+
+impl std::str::FromStr for Value {
+    type Err = crate::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_identity_is_part_of_equality() {
+        assert_ne!(
+            Value::Number(Number::PosInt(5)),
+            Value::Number(Number::Float(5.0))
+        );
+        assert_eq!(Number::from_f64(f64::NAN), None);
+        assert_eq!(Number::from_f64(f64::INFINITY), None);
+        assert_eq!(Number::from_f64(2.5), Some(Number::Float(2.5)));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Bool(true)),
+            ("b".into(), Value::Number(Number::PosInt(3))),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("b").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("a"), None);
+        assert_eq!(Number::NegInt(-2).as_i64(), Some(-2));
+        assert_eq!(Number::PosInt(7).as_i64(), Some(7));
+        assert_eq!(Number::Float(1.5).as_i64(), None);
+    }
+}

@@ -25,9 +25,68 @@ pub struct ProfileTable {
 }
 
 impl ProfileTable {
+    /// Rebuilds a table from its parts (the artifact plane persists
+    /// profiles and replays schedule searches from them).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the rows are not rectangular over
+    /// `batch_sizes` or the per-block vectors disagree on block count.
+    pub fn from_parts(
+        batch_sizes: Vec<usize>,
+        teacher: Vec<Vec<SimTime>>,
+        student: Vec<Vec<SimTime>>,
+        update: Vec<SimTime>,
+    ) -> Result<Self, String> {
+        if teacher.len() != student.len() || teacher.len() != update.len() {
+            return Err(format!(
+                "block count mismatch: {} teacher, {} student, {} update rows",
+                teacher.len(),
+                student.len(),
+                update.len()
+            ));
+        }
+        for (i, row) in teacher.iter().chain(student.iter()).enumerate() {
+            if row.len() != batch_sizes.len() {
+                return Err(format!(
+                    "row {i} has {} entries for {} batch sizes",
+                    row.len(),
+                    batch_sizes.len()
+                ));
+            }
+        }
+        Ok(ProfileTable {
+            batch_sizes,
+            teacher,
+            student,
+            update,
+        })
+    }
+
     /// The batch sizes the table was profiled at.
     pub fn batch_sizes(&self) -> &[usize] {
         &self.batch_sizes
+    }
+
+    /// Number of profiled blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.teacher.len()
+    }
+
+    /// Teacher rows: `teacher_rows()[block][batch_index]`, aligned with
+    /// [`ProfileTable::batch_sizes`].
+    pub fn teacher_rows(&self) -> &[Vec<SimTime>] {
+        &self.teacher
+    }
+
+    /// Student rows: `student_rows()[block][batch_index]`.
+    pub fn student_rows(&self) -> &[Vec<SimTime>] {
+        &self.student
+    }
+
+    /// Update times, one per block.
+    pub fn update_row(&self) -> &[SimTime] {
+        &self.update
     }
 
     /// Profiled teacher time for a block at a batch size.
@@ -195,5 +254,42 @@ mod tests {
     fn unprofiled_batch_panics() {
         let t = table(0.0);
         let _ = t.teacher_time(0, 57);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_profiled_table() {
+        let t = table(0.05);
+        let rebuilt = ProfileTable::from_parts(
+            t.batch_sizes().to_vec(),
+            t.teacher_rows().to_vec(),
+            t.student_rows().to_vec(),
+            t.update_row().to_vec(),
+        )
+        .expect("parts are rectangular");
+        assert_eq!(rebuilt, t);
+        assert_eq!(rebuilt.num_blocks(), 6);
+    }
+
+    #[test]
+    fn from_parts_rejects_ragged_rows() {
+        let t = table(0.0);
+        let mut teacher = t.teacher_rows().to_vec();
+        teacher[2].pop();
+        assert!(ProfileTable::from_parts(
+            t.batch_sizes().to_vec(),
+            teacher,
+            t.student_rows().to_vec(),
+            t.update_row().to_vec(),
+        )
+        .is_err());
+        let mut update = t.update_row().to_vec();
+        update.pop();
+        assert!(ProfileTable::from_parts(
+            t.batch_sizes().to_vec(),
+            t.teacher_rows().to_vec(),
+            t.student_rows().to_vec(),
+            update,
+        )
+        .is_err());
     }
 }

@@ -14,6 +14,11 @@
 //! * [`data`] — dataset descriptors and synthetic datasets.
 //! * [`core`] — the Pipe-BD strategies, simulator lowering, threaded
 //!   functional executor, and the [`core::Experiment`] facade.
+//! * [`json`] — the JSON backend (parser, `Value` tree, renderers, serde
+//!   bridge) behind the artifact plane.
+//! * [`artifact`] — the persistent artifact store: schema-tagged run
+//!   reports, schedules, profiles, and bench baselines under
+//!   `target/artifacts/`.
 //!
 //! # Quickstart
 //!
@@ -34,8 +39,10 @@
 //! # }
 //! ```
 
+pub use pipebd_artifact as artifact;
 pub use pipebd_core as core;
 pub use pipebd_data as data;
+pub use pipebd_json as json;
 pub use pipebd_models as models;
 pub use pipebd_nn as nn;
 pub use pipebd_sched as sched;
