@@ -29,7 +29,8 @@ mod payload;
 mod store;
 
 pub use payload::{
-    BenchKernels, BenchRecord, BenchSuite, BlockCost, CostProfile, KernelComparison, RunSet,
+    machine_fingerprint, BenchDelta, BenchKernels, BenchRecord, BenchSuite, BenchTolerance,
+    BlockCost, CostProfile, KernelComparison, RunSet, SpeedupDelta,
 };
 pub use store::{ArtifactError, ArtifactMeta, ArtifactStore};
 

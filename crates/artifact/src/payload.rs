@@ -144,13 +144,59 @@ pub struct KernelComparison {
 pub struct BenchKernels {
     /// Active process-global kernel policy when the gate ran.
     pub kernel_policy: String,
+    /// Machine fingerprint of the run (see [`machine_fingerprint`]);
+    /// cross-machine comparisons are informational only.
+    pub fingerprint: String,
     /// All compared kernels.
     pub cases: Vec<KernelComparison>,
 }
 
 impl ArtifactPayload for BenchKernels {
     const SCHEMA: &'static str = "pipebd.bench_kernels";
-    const VERSION: u32 = 1;
+    // v2: added `fingerprint` (the regression gate's escape hatch).
+    const VERSION: u32 = 2;
+}
+
+/// Drift of one kernel's blocked-vs-naive speedup against a baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupDelta {
+    /// Kernel case name.
+    pub kernel: String,
+    /// Baseline speedup (naive / blocked).
+    pub baseline: f64,
+    /// Current speedup.
+    pub current: f64,
+    /// Whether the current speedup collapsed below
+    /// `baseline × min_retained` (a compute-plane regression).
+    pub regressed: bool,
+}
+
+impl BenchKernels {
+    /// Compares kernel speedups against a baseline run: a kernel regresses
+    /// when its speedup drops below `baseline × min_retained` (speedups are
+    /// timing *ratios*, so they transfer across machines far better than
+    /// raw nanoseconds). Kernels absent from either side are skipped.
+    pub fn compare_speedups(
+        &self,
+        baseline: &BenchKernels,
+        min_retained: f64,
+    ) -> Vec<SpeedupDelta> {
+        self.cases
+            .iter()
+            .filter_map(|c| {
+                baseline
+                    .cases
+                    .iter()
+                    .find(|b| b.kernel == c.kernel)
+                    .map(|b| SpeedupDelta {
+                        kernel: c.kernel.clone(),
+                        baseline: b.speedup,
+                        current: c.speedup,
+                        regressed: c.speedup < b.speedup * min_retained,
+                    })
+            })
+            .collect()
+    }
 }
 
 /// One timed benchmark from a criterion-shim run.
@@ -171,13 +217,92 @@ pub struct BenchSuite {
     pub suite: String,
     /// Active process-global kernel policy during the run.
     pub kernel_policy: String,
+    /// Machine fingerprint of the run (see [`machine_fingerprint`]). The
+    /// regression gate only *enforces* nanosecond tolerances when the
+    /// current fingerprint matches the baseline's; cross-machine
+    /// comparisons are reported but do not fail the gate.
+    pub fingerprint: String,
     /// All measurements, in execution order.
     pub records: Vec<BenchRecord>,
 }
 
 impl ArtifactPayload for BenchSuite {
     const SCHEMA: &'static str = "pipebd.bench_suite";
-    const VERSION: u32 = 1;
+    // v2: added `fingerprint` (the regression gate's escape hatch).
+    const VERSION: u32 = 2;
+}
+
+/// Per-metric slowdown tolerance for [`BenchSuite::compare_with`].
+///
+/// A benchmark regresses when `current_ns > baseline_ns × max_ratio`. The
+/// default ratio covers single-threaded microbenches; noisier ids (the
+/// threaded executor, anything scheduling-bound) can carry looser
+/// overrides, matched by longest prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchTolerance {
+    /// Ratio limit applied when no override matches.
+    pub default_max_ratio: f64,
+    /// `(id_prefix, max_ratio)` overrides; the longest matching prefix
+    /// wins.
+    pub overrides: Vec<(String, f64)>,
+    /// Absolute noise floor in nanoseconds: a slowdown only regresses when
+    /// it also exceeds `baseline + floor_ns`. Sub-100µs microbenches on a
+    /// contended core jitter by whole multiples of their mean; the floor
+    /// keeps them from flagging while leaving every bench large enough to
+    /// matter fully ratio-gated.
+    pub floor_ns: u64,
+}
+
+impl BenchTolerance {
+    /// The regression gate's default policy: 1.6× on microbenches, 2.2× on
+    /// the threaded-executor and relay-pipeline benches (thread scheduling
+    /// on shared runners is noisy), 100 µs absolute noise floor.
+    pub fn gate_default() -> Self {
+        BenchTolerance {
+            default_max_ratio: 1.6,
+            overrides: vec![("exec/".into(), 2.2), ("relay/pipeline".into(), 2.2)],
+            floor_ns: 100_000,
+        }
+    }
+
+    /// The ratio limit for a benchmark id.
+    pub fn max_ratio(&self, id: &str) -> f64 {
+        self.overrides
+            .iter()
+            .filter(|(prefix, _)| id.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map_or(self.default_max_ratio, |(_, r)| *r)
+    }
+
+    /// Whether a `(baseline, current)` pair regresses under this policy:
+    /// the slowdown must exceed both the id's ratio limit and the absolute
+    /// noise floor.
+    pub fn regresses(&self, id: &str, baseline_ns: u64, current_ns: u64) -> bool {
+        let over_floor = current_ns > baseline_ns.saturating_add(self.floor_ns);
+        let over_ratio = if baseline_ns == 0 {
+            current_ns > 0
+        } else {
+            current_ns as f64 / baseline_ns as f64 > self.max_ratio(id)
+        };
+        over_floor && over_ratio
+    }
+}
+
+/// One benchmark's drift against a baseline, with its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Benchmark id.
+    pub id: String,
+    /// Baseline mean, nanoseconds.
+    pub baseline_ns: u64,
+    /// Current mean, nanoseconds.
+    pub current_ns: u64,
+    /// `current_ns / baseline_ns`.
+    pub ratio: f64,
+    /// Ratio limit that applied to this id.
+    pub max_ratio: f64,
+    /// Whether the slowdown exceeds the limit.
+    pub regressed: bool,
 }
 
 impl BenchSuite {
@@ -194,5 +319,162 @@ impl BenchSuite {
                     .map(|b| (r.id.clone(), b.mean_ns, r.mean_ns))
             })
             .collect()
+    }
+
+    /// Compares against a baseline under per-metric tolerances: one
+    /// [`BenchDelta`] per id present in both suites, with `regressed` set
+    /// when the slowdown ratio exceeds the id's limit. This is the
+    /// perf-regression gate's core primitive; callers decide whether a
+    /// regression is fatal (same machine fingerprint) or informational.
+    pub fn compare_with(&self, baseline: &BenchSuite, tol: &BenchTolerance) -> Vec<BenchDelta> {
+        self.compare(baseline)
+            .into_iter()
+            .map(|(id, baseline_ns, current_ns)| {
+                let ratio = if baseline_ns == 0 {
+                    f64::INFINITY
+                } else {
+                    current_ns as f64 / baseline_ns as f64
+                };
+                let max_ratio = tol.max_ratio(&id);
+                BenchDelta {
+                    regressed: tol.regresses(&id, baseline_ns, current_ns),
+                    id,
+                    baseline_ns,
+                    current_ns,
+                    ratio,
+                    max_ratio,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A stable identifier for the machine a bench artifact was recorded on.
+///
+/// Resolution order: the `PIPEBD_BENCH_FINGERPRINT` environment variable
+/// (explicit override for fleets), else the first `model name` line of
+/// `/proc/cpuinfo` plus the logical core count, else the compile-time
+/// architecture. Deliberately date-free and boot-stable so two runs on the
+/// same host always agree.
+pub fn machine_fingerprint() -> String {
+    if let Ok(explicit) = std::env::var("PIPEBD_BENCH_FINGERPRINT") {
+        let trimmed = explicit.trim();
+        if !trimmed.is_empty() {
+            return trimmed.to_string();
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    if let Ok(cpuinfo) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in cpuinfo.lines() {
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, model)) = rest.split_once(':') {
+                    return format!("{} x{cores}", model.trim());
+                }
+            }
+        }
+    }
+    format!("{} x{cores}", std::env::consts::ARCH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite(ns: &[(&str, u64)], fingerprint: &str) -> BenchSuite {
+        BenchSuite {
+            suite: "micro".into(),
+            kernel_policy: "blocked".into(),
+            fingerprint: fingerprint.into(),
+            records: ns
+                .iter()
+                .map(|(id, mean_ns)| BenchRecord {
+                    id: (*id).to_string(),
+                    mean_ns: *mean_ns,
+                    iters: 10,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn tolerance_prefix_overrides_win_by_length() {
+        let tol = BenchTolerance {
+            default_max_ratio: 1.5,
+            overrides: vec![("exec/".into(), 2.0), ("exec/threaded".into(), 3.0)],
+            floor_ns: 0,
+        };
+        assert_eq!(tol.max_ratio("tensor/matmul_64"), 1.5);
+        assert_eq!(tol.max_ratio("exec/hybrid"), 2.0);
+        assert_eq!(tol.max_ratio("exec/threaded_mini"), 3.0);
+    }
+
+    #[test]
+    fn compare_with_flags_only_out_of_budget_slowdowns() {
+        let baseline = suite(&[("a", 100_000), ("b", 100_000), ("c", 100_000)], "m1");
+        let current = suite(&[("a", 120_000), ("b", 200_000), ("d", 50_000)], "m1");
+        let tol = BenchTolerance {
+            default_max_ratio: 1.5,
+            overrides: vec![],
+            floor_ns: 0,
+        };
+        let deltas = current.compare_with(&baseline, &tol);
+        // `c` is missing from current, `d` from baseline: both skipped.
+        assert_eq!(deltas.len(), 2);
+        assert!(!deltas[0].regressed, "1.2x is within the 1.5x budget");
+        assert!(deltas[1].regressed, "2.0x exceeds the 1.5x budget");
+        assert!((deltas[1].ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_floor_shields_tiny_benches_only() {
+        let tol = BenchTolerance {
+            default_max_ratio: 1.5,
+            overrides: vec![],
+            floor_ns: 100_000,
+        };
+        // 10 µs → 20 µs: 2x ratio but a 10 µs delta — noise, not a
+        // regression.
+        assert!(!tol.regresses("tiny", 10_000, 20_000));
+        // 1 ms → 2 ms: same ratio, far over the floor — regression.
+        assert!(tol.regresses("big", 1_000_000, 2_000_000));
+        // 1 ms → 1.2 ms: over the floor but within ratio — fine.
+        assert!(!tol.regresses("big", 1_000_000, 1_200_000));
+    }
+
+    #[test]
+    fn compare_speedups_flags_collapsed_wins() {
+        let case = |kernel: &str, speedup: f64| KernelComparison {
+            kernel: kernel.into(),
+            naive_ns: 1000,
+            blocked_ns: (1000.0 / speedup) as u64,
+            speedup,
+        };
+        let baseline = BenchKernels {
+            kernel_policy: "blocked".into(),
+            fingerprint: "m1".into(),
+            cases: vec![case("conv", 10.0), case("matmul", 4.0)],
+        };
+        let current = BenchKernels {
+            kernel_policy: "blocked".into(),
+            fingerprint: "m1".into(),
+            cases: vec![case("conv", 8.0), case("matmul", 1.2)],
+        };
+        let deltas = current.compare_speedups(&baseline, 0.5);
+        assert!(!deltas[0].regressed, "8x retains >50% of 10x");
+        assert!(deltas[1].regressed, "1.2x lost >50% of 4x");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_nonempty() {
+        let a = machine_fingerprint();
+        let b = machine_fingerprint();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn gate_default_loosens_executor_benches() {
+        let tol = BenchTolerance::gate_default();
+        assert!(tol.max_ratio("exec/threaded_mini_4dev_6steps") > tol.max_ratio("tensor/matmul"));
     }
 }

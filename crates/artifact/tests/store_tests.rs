@@ -133,6 +133,7 @@ fn bench_payloads_roundtrip_and_compare() {
     let store = scratch_store("bench");
     let kernels = BenchKernels {
         kernel_policy: "blocked".into(),
+        fingerprint: pipebd_artifact::machine_fingerprint(),
         cases: vec![KernelComparison {
             kernel: "conv2d_8x16x16".into(),
             naive_ns: 1000,
@@ -149,6 +150,7 @@ fn bench_payloads_roundtrip_and_compare() {
     let suite = BenchSuite {
         suite: "micro".into(),
         kernel_policy: "blocked".into(),
+        fingerprint: pipebd_artifact::machine_fingerprint(),
         records: vec![
             BenchRecord {
                 id: "relay/hop_shared_1mb".into(),

@@ -247,6 +247,7 @@ fn main() {
         &pipebd_artifact::BenchSuite {
             suite: "micro".into(),
             kernel_policy: pipebd_tensor::kernel_policy().to_string(),
+            fingerprint: pipebd_artifact::machine_fingerprint(),
             records,
         },
     );

@@ -23,6 +23,7 @@ use pipebd_artifact::{
 use pipebd_core::RunReport;
 use pipebd_json::Value;
 use pipebd_sched::StagePlan;
+use pipebd_testkit::{ConformanceReport, ScenarioSet};
 
 /// Deserializes an already-parsed payload tree as `T`, enforcing the
 /// schema/version tags (same checks as `ArtifactStore::load`, without
@@ -81,6 +82,22 @@ fn revalidate(meta: &ArtifactMeta, payload: &Value) -> Result<String, ArtifactEr
                 "{} measurements ({})",
                 suite.records.len(),
                 suite.suite
+            ))
+        }
+        ScenarioSet::SCHEMA => {
+            let set: ScenarioSet = typed(meta, payload)?;
+            // Persisted scenarios must still be runnable (plans lay out).
+            for s in &set.scenarios {
+                s.exec_plan()
+                    .map_err(|e| ArtifactError::Malformed(format!("{}: {e}", s.id)))?;
+            }
+            Ok(format!("{} scenarios", set.scenarios.len()))
+        }
+        ConformanceReport::SCHEMA => {
+            let report: ConformanceReport = typed(meta, payload)?;
+            Ok(format!(
+                "{} scenarios, {} failures",
+                report.scenarios, report.failures
             ))
         }
         other => Err(ArtifactError::Malformed(format!(

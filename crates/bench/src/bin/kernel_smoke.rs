@@ -104,6 +104,7 @@ fn main() {
         "BENCH_kernels",
         &BenchKernels {
             kernel_policy: pipebd_tensor::kernel_policy().to_string(),
+            fingerprint: pipebd_artifact::machine_fingerprint(),
             cases: comparisons,
         },
     );

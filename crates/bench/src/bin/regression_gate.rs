@@ -1,0 +1,362 @@
+//! CI gate for the conformance plane and the perf baselines: runs the full
+//! differential scenario sweep and compares current bench artifacts
+//! against the baselines committed at the repository root.
+//!
+//! Modes:
+//!
+//! * **default** — enumerate every conformance scenario, run the executor
+//!   and simulator/estimator differentials, persist the sweep
+//!   (`CONFORMANCE_scenarios`, `CONFORMANCE_report`), then compare the
+//!   current `BENCH_e2e`/`BENCH_kernels` artifacts (written by the micro
+//!   bench and `kernel_smoke`) against the committed `BENCH_e2e.json` /
+//!   `BENCH_kernels.json`. Exit 1 on any conformance drift, and on perf
+//!   regressions beyond tolerance **when the machine fingerprint matches
+//!   the baseline's** — on foreign machines the nanosecond comparison is
+//!   reported but informational (the escape hatch; speedup *ratios* are
+//!   still enforced).
+//! * **`--self-test`** — prove the perf gate actually fires: inject a
+//!   fixture baseline whose records make the current run look 2× slower
+//!   (same fingerprint), assert the comparison fails, then assert the
+//!   current run compared against itself passes. Exit 0 iff the gate
+//!   behaved correctly both ways.
+//!
+//! Flags / environment:
+//!
+//! * `--require-bench` — missing current bench artifacts become fatal
+//!   (CI sets this so a lane misconfiguration cannot silently skip the
+//!   perf half).
+//! * `PIPEBD_CONFORMANCE_STRIDE=N` — run every Nth scenario (quick local
+//!   iteration; printed loudly, never set in CI).
+//!
+//! Run with: `cargo run --release -p pipebd_bench --bin regression_gate`
+
+use std::path::{Path, PathBuf};
+
+use pipebd_artifact::{
+    machine_fingerprint, ArtifactError, ArtifactStore, BenchKernels, BenchSuite, BenchTolerance,
+};
+use pipebd_tensor::{kernel_policy, set_kernel_policy};
+use pipebd_testkit::{enumerate, run_scenario, ConformanceReport, ScenarioSet, ToleranceBook};
+
+/// Minimum fraction of the baseline's kernel speedup the current run must
+/// retain (ratios transfer across machines, so this is enforced even when
+/// fingerprints differ).
+const MIN_SPEEDUP_RETAINED: f64 = 0.4;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Runs the conformance sweep; returns the number of failing scenarios.
+fn conformance_sweep(store: &ArtifactStore) -> usize {
+    let stride: usize = std::env::var("PIPEBD_CONFORMANCE_STRIDE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+    let all = enumerate();
+    let scenarios: Vec<_> = all.iter().step_by(stride).cloned().collect();
+    if stride > 1 {
+        println!(
+            "!! PIPEBD_CONFORMANCE_STRIDE={stride}: running {} of {} scenarios (never do this in CI)",
+            scenarios.len(),
+            all.len()
+        );
+    }
+    let book = ToleranceBook::gate_default();
+    let ambient = kernel_policy();
+    let mut outcomes = Vec::with_capacity(scenarios.len());
+    let mut failures = 0usize;
+    for s in &scenarios {
+        set_kernel_policy(s.kernel_policy());
+        let outcome = run_scenario(s, &book);
+        let verdict = if outcome.pass { "ok  " } else { "FAIL" };
+        println!(
+            "  {verdict} {id:<28} param {param:>9.2e}  loss {loss:>9.2e}  sim/est {ratio:>6.3} in [{lo:.2},{hi:.2}]{bn}{detail}",
+            id = outcome.id,
+            param = outcome.max_param_diff,
+            loss = outcome.max_loss_diff,
+            ratio = outcome.sim_ratio,
+            lo = outcome.ratio_lo,
+            hi = outcome.ratio_hi,
+            bn = if outcome.bottleneck_checked {
+                if outcome.bottleneck_ok { "  bn:ok" } else { "  bn:FAIL" }
+            } else {
+                ""
+            },
+            detail = if outcome.detail.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", outcome.detail)
+            },
+        );
+        if !outcome.pass {
+            failures += 1;
+        }
+        outcomes.push(outcome);
+    }
+    set_kernel_policy(ambient);
+
+    let persist = |name: &str, res: Result<PathBuf, ArtifactError>| match res {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => panic!("failed to persist `{name}`: {e}"),
+    };
+    persist(
+        "CONFORMANCE_scenarios",
+        store.save(
+            "CONFORMANCE_scenarios",
+            &ScenarioSet {
+                description: format!(
+                    "conformance sweep, stride {stride}: {} scenarios",
+                    scenarios.len()
+                ),
+                scenarios,
+            },
+        ),
+    );
+    persist(
+        "CONFORMANCE_report",
+        store.save(
+            "CONFORMANCE_report",
+            &ConformanceReport {
+                scenarios: outcomes.len(),
+                failures,
+                outcomes,
+            },
+        ),
+    );
+    failures
+}
+
+/// Compares current bench artifacts against the committed baselines.
+/// Returns the number of *fatal* regressions.
+fn perf_gate(
+    current_store: &ArtifactStore,
+    baseline_store: &ArtifactStore,
+    require: bool,
+) -> usize {
+    let mut fatal = 0usize;
+    let fingerprint = machine_fingerprint();
+    println!("machine fingerprint: {fingerprint}");
+
+    match (
+        current_store.load::<BenchSuite>("BENCH_e2e"),
+        baseline_store.load::<BenchSuite>("BENCH_e2e"),
+    ) {
+        (Ok(current), Ok(baseline)) => {
+            let enforced = current.fingerprint == baseline.fingerprint;
+            println!(
+                "BENCH_e2e: baseline fingerprint `{}` — nanosecond tolerances {}",
+                baseline.fingerprint,
+                if enforced {
+                    "ENFORCED (same machine)"
+                } else {
+                    "informational (different machine)"
+                }
+            );
+            let deltas = current.compare_with(&baseline, &BenchTolerance::gate_default());
+            for d in &deltas {
+                println!(
+                    "  {} {:<44} base {:>12} ns  now {:>12} ns  ratio {:>6.2} (limit {:.2})",
+                    if d.regressed { "SLOW" } else { "ok  " },
+                    d.id,
+                    d.baseline_ns,
+                    d.current_ns,
+                    d.ratio,
+                    d.max_ratio,
+                );
+                if d.regressed && enforced {
+                    fatal += 1;
+                }
+            }
+            if deltas.is_empty() {
+                println!("  (no overlapping benchmark ids)");
+            }
+        }
+        (Err(e), _) => {
+            println!("BENCH_e2e: no current artifact ({e})");
+            if require {
+                fatal += 1;
+            }
+        }
+        (_, Err(e)) => {
+            println!("BENCH_e2e: no committed baseline ({e})");
+            if require {
+                fatal += 1;
+            }
+        }
+    }
+
+    match (
+        current_store.load::<BenchKernels>("BENCH_kernels"),
+        baseline_store.load::<BenchKernels>("BENCH_kernels"),
+    ) {
+        (Ok(current), Ok(baseline)) => {
+            // Speedups are ratios: enforced regardless of fingerprint.
+            println!(
+                "BENCH_kernels: current speedup must retain >= {MIN_SPEEDUP_RETAINED}x of baseline (ENFORCED on every machine)"
+            );
+            let deltas = current.compare_speedups(&baseline, MIN_SPEEDUP_RETAINED);
+            if deltas.is_empty() {
+                println!("  (no overlapping kernel names)");
+            }
+            for d in deltas {
+                println!(
+                    "  {} {:<44} base {:>6.2}x  now {:>6.2}x",
+                    if d.regressed { "SLOW" } else { "ok  " },
+                    d.kernel,
+                    d.baseline,
+                    d.current,
+                );
+                if d.regressed {
+                    fatal += 1;
+                }
+            }
+        }
+        (Err(e), _) => {
+            println!("BENCH_kernels: no current artifact ({e})");
+            if require {
+                fatal += 1;
+            }
+        }
+        (_, Err(e)) => {
+            println!("BENCH_kernels: no committed baseline ({e})");
+            if require {
+                fatal += 1;
+            }
+        }
+    }
+    fatal
+}
+
+/// Proves the perf gate fires: an injected baseline that makes the current
+/// run look 2× slower must produce regressions; the current run against
+/// itself must not.
+fn self_test(current_store: &ArtifactStore, baseline_store: &ArtifactStore) -> bool {
+    // Use the current suite if a bench ran, else fall back to the
+    // committed baseline as the "current" run (pure fixture arithmetic —
+    // no timing happens here).
+    let current: BenchSuite = match current_store.load("BENCH_e2e") {
+        Ok(s) => s,
+        Err(_) => match baseline_store.load("BENCH_e2e") {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "self-test FAILED: no BENCH_e2e anywhere to build the fixture from ({e})"
+                );
+                return false;
+            }
+        },
+    };
+    // The fixture keeps the current run's fingerprint (it is a clone), so
+    // a same-machine comparison is what the self-test exercises.
+    let mut injected = current.clone();
+    for r in &mut injected.records {
+        // Halving the baseline makes the current run a 2× slowdown.
+        r.mean_ns = (r.mean_ns / 2).max(1);
+    }
+    // Round-trip the fixture through the store: the gate must fail on what
+    // is actually on disk, not only on in-memory values.
+    current_store
+        .save("SELFTEST_injected_baseline", &injected)
+        .expect("fixture persists");
+    let injected: BenchSuite = current_store
+        .load("SELFTEST_injected_baseline")
+        .expect("fixture reloads");
+
+    let tol = BenchTolerance::gate_default();
+    let against_injected = current.compare_with(&injected, &tol);
+    // A 2x slowdown must flag exactly the benches the policy promises to
+    // catch: ratio limit below 2.0 and a delta above the noise floor.
+    let mut fired = 0usize;
+    let mut expected = 0usize;
+    let mut mismatch = false;
+    for d in &against_injected {
+        let should_fire = d.max_ratio < 2.0 && d.current_ns > d.baseline_ns + tol.floor_ns;
+        expected += usize::from(should_fire);
+        fired += usize::from(d.regressed);
+        if d.regressed != should_fire {
+            eprintln!(
+                "self-test mismatch on `{}`: regressed={} but policy says {} (ratio {:.2}, limit {:.2})",
+                d.id, d.regressed, should_fire, d.ratio, d.max_ratio
+            );
+            mismatch = true;
+        }
+    }
+    let against_self = current.compare_with(&current, &tol);
+    let false_alarms = against_self.iter().filter(|d| d.regressed).count();
+
+    println!(
+        "self-test: {fired} of {} benches flagged vs the injected 2x-slowdown fixture ({expected} expected); {false_alarms} false alarms vs self",
+        against_injected.len(),
+    );
+    if mismatch {
+        eprintln!("self-test FAILED: flagged set diverges from the declared policy");
+        return false;
+    }
+    if expected == 0 || fired == 0 {
+        eprintln!("self-test FAILED: the fixture must make the gate fire at least once");
+        return false;
+    }
+    if false_alarms > 0 {
+        eprintln!(
+            "self-test FAILED: comparing a run against itself flagged {false_alarms} benches"
+        );
+        return false;
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_test_mode = args.iter().any(|a| a == "--self-test");
+    let require_bench = args.iter().any(|a| a == "--require-bench");
+    for a in &args {
+        if a != "--self-test" && a != "--require-bench" {
+            eprintln!("unknown flag `{a}` (expected --self-test and/or --require-bench)");
+            std::process::exit(2);
+        }
+    }
+
+    let current_store = ArtifactStore::from_env();
+    let baseline_store = ArtifactStore::at(workspace_root());
+
+    if self_test_mode {
+        pipebd_bench::header(
+            "Regression gate — self-test",
+            "inject a 2x-slowdown fixture and prove the perf gate fires",
+        );
+        if !self_test(&current_store, &baseline_store) {
+            std::process::exit(1);
+        }
+        println!("regression gate self-test passed");
+        return;
+    }
+
+    pipebd_bench::header(
+        "Regression gate — conformance sweep + perf baselines",
+        &format!(
+            "current: {}  baselines: {}",
+            current_store.root().display(),
+            baseline_store.root().display()
+        ),
+    );
+
+    println!("== conformance sweep ==");
+    let conformance_failures = conformance_sweep(&current_store);
+
+    println!("== perf baselines ==");
+    let perf_failures = perf_gate(&current_store, &baseline_store, require_bench);
+
+    if conformance_failures > 0 || perf_failures > 0 {
+        eprintln!(
+            "regression gate FAILED: {conformance_failures} conformance failures, {perf_failures} perf regressions"
+        );
+        std::process::exit(1);
+    }
+    println!("regression gate passed: conformance clean, perf within tolerance");
+}

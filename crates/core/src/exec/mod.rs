@@ -165,6 +165,26 @@ impl FuncOutcome {
         max
     }
 
+    /// Maximum absolute per-step loss difference against another outcome
+    /// (the conformance plane's loss-agreement metric; parameter agreement
+    /// alone would miss a divergence that happens to cancel by the final
+    /// step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcomes have different block/step structure.
+    pub fn max_loss_diff(&self, other: &FuncOutcome) -> f32 {
+        assert_eq!(self.losses.len(), other.losses.len(), "block count differs");
+        let mut max = 0.0f32;
+        for (a, b) in self.losses.iter().zip(other.losses.iter()) {
+            assert_eq!(a.len(), b.len(), "step count differs");
+            for (la, lb) in a.iter().zip(b.iter()) {
+                max = max.max((la - lb).abs());
+            }
+        }
+        max
+    }
+
     /// Final loss of each block (last recorded step).
     pub fn final_losses(&self) -> Vec<f32> {
         self.losses

@@ -1,14 +1,34 @@
-//! Analytic steady-state period estimation for stage plans.
+//! Analytic steady-state period estimation for stage plans — and for the
+//! baseline schedules the paper compares against.
 //!
 //! With decoupled parameter update, a relayed pipeline settles into a
 //! steady state whose step period is the *maximum stage time* — each device
 //! repeats its own work back-to-back once the pipeline is full. The AHD
 //! search minimizes this estimate; the simulator then validates it (the
 //! test suite cross-checks estimate vs. simulated period).
+//!
+//! The conformance plane (`crates/testkit`) widens that cross-check to the
+//! whole strategy matrix, so this module also carries analytic predictions
+//! for the schedules `estimate_period` does not cover:
+//!
+//! * [`barrier_period`] — plain teacher relaying (per-round barrier before
+//!   updates, Fig. 3b);
+//! * [`dp_phase_period`] — the block-by-block data-parallel baseline
+//!   (Fig. 3a), per phase;
+//! * [`ls_round_period`] — the layerwise bin-packing baseline;
+//! * [`fill_time`] — the pipeline fill latency of a plan (how long the
+//!   first batch takes to reach the last stage);
+//! * [`bottleneck_stage`] — which stage the estimator predicts as the
+//!   steady-state bottleneck, with its confidence margin.
+//!
+//! Every prediction here is checked against the event-level simulator per
+//! scenario, with a per-strategy relative-error budget (see
+//! `pipebd_testkit::ToleranceBook`).
 
 use pipebd_models::Workload;
 use pipebd_sim::{HardwareConfig, SimTime};
 
+use crate::ls::LsAssignment;
 use crate::plan::{Stage, StagePlan};
 use crate::profile::ProfileTable;
 
@@ -57,6 +77,265 @@ pub fn estimate_period(
         .map(|s| stage_time(s, table, workload, hw, global_batch))
         .max()
         .unwrap_or(SimTime::ZERO)
+}
+
+/// Per-stage steady-state times of a plan, in stage order (the vector
+/// [`estimate_period`] takes the maximum of).
+pub fn stage_times(
+    plan: &StagePlan,
+    table: &ProfileTable,
+    workload: &Workload,
+    hw: &HardwareConfig,
+    global_batch: usize,
+) -> Vec<SimTime> {
+    plan.stages
+        .iter()
+        .map(|s| stage_time(s, table, workload, hw, global_batch))
+        .collect()
+}
+
+/// The stage the estimator predicts as the steady-state bottleneck.
+///
+/// Returns `(stage_index, margin)` where `margin` is the ratio of the
+/// bottleneck stage's time to the second-heaviest stage's (`1.0` when the
+/// plan has a single stage or an exact tie). Conformance checks only
+/// assert the simulator agrees when the margin is clearly above 1 — near
+/// ties legitimately resolve either way under event-level effects the
+/// estimator ignores.
+pub fn bottleneck_stage(
+    plan: &StagePlan,
+    table: &ProfileTable,
+    workload: &Workload,
+    hw: &HardwareConfig,
+    global_batch: usize,
+) -> (usize, f64) {
+    let times = stage_times(plan, table, workload, hw, global_batch);
+    let mut order: Vec<usize> = (0..times.len()).collect();
+    order.sort_by(|&a, &b| times[b].cmp(&times[a]));
+    let top = order[0];
+    let margin = match order.get(1) {
+        Some(&second) if times[second] > SimTime::ZERO => {
+            times[top].as_secs_f64() / times[second].as_secs_f64()
+        }
+        _ => 1.0,
+    };
+    (top, margin)
+}
+
+/// Teacher-chain time of a stage at its device batch.
+fn teacher_chain(stage: &Stage, table: &ProfileTable, db: usize) -> SimTime {
+    stage.blocks().map(|b| table.teacher_time(b, db)).sum()
+}
+
+/// Student-chain time of a stage at its device batch.
+fn student_chain(stage: &Stage, table: &ProfileTable, db: usize) -> SimTime {
+    stage.blocks().map(|b| table.student_time(b, db)).sum()
+}
+
+/// Update-chain time of a stage (batch-independent).
+fn update_chain(stage: &Stage, table: &ProfileTable) -> SimTime {
+    stage.blocks().map(|b| table.update_time(b)).sum()
+}
+
+/// Gradient all-reduce time of a widened stage (zero for width 1).
+fn stage_allreduce(stage: &Stage, workload: &Workload, hw: &HardwareConfig) -> SimTime {
+    if stage.width() <= 1 {
+        return SimTime::ZERO;
+    }
+    let grad_bytes: u64 = stage
+        .blocks()
+        .map(|b| 4 * workload.model.blocks[b].student_params)
+        .sum();
+    hw.pcie.allreduce_time(grad_bytes, stage.width())
+}
+
+/// Consumer-side batch cost of stage 0 (collate + host-to-device copy).
+fn stage0_consume(
+    plan: &StagePlan,
+    workload: &Workload,
+    hw: &HardwareConfig,
+    batch: usize,
+) -> SimTime {
+    let db = plan.stages[0].device_batch(batch);
+    let bytes = db as u64 * workload.dataset.sample_bytes();
+    hw.host.consume_time(db, bytes, &hw.pcie)
+}
+
+/// Relay transfer time for the boundary activation leaving `stage`.
+fn relay_time(stage: &Stage, workload: &Workload, hw: &HardwareConfig, batch: usize) -> SimTime {
+    let last_block = stage.first_block + stage.num_blocks - 1;
+    let bytes =
+        workload.model.blocks[last_block].boundary_bytes() * stage.device_batch(batch) as u64;
+    hw.pcie.transfer_time(bytes)
+}
+
+/// Shared-loader-pool lower bound on the round period: every consumer's
+/// batch is decoded on one FIFO worker pool, so the pool's service time per
+/// round caps throughput no matter how the GPUs overlap.
+fn loader_bound(
+    consumers: usize,
+    samples_each: usize,
+    workload: &Workload,
+    hw: &HardwareConfig,
+) -> SimTime {
+    let one = hw
+        .host
+        .decode_time(samples_each, workload.dataset.decode_us_per_sample);
+    SimTime::from_ns(one.as_ns() * consumers as u64)
+}
+
+/// Analytic steady-state round period of a plan run **with a per-round
+/// barrier** (plain teacher relaying, Fig. 3b — no decoupled updates).
+///
+/// With a barrier, rounds cannot overlap: every stage's next-round input
+/// waits on *all* updates of the previous round, so the period is the
+/// critical path of one full round instead of the maximum stage time. The
+/// path mirrors the lowering in `pipebd_core::lower::relay`:
+///
+/// 1. stage 0 consumes its batch, each stage's teacher chain starts when
+///    the previous stage's boundary send arrives;
+/// 2. students chain after their stage's teachers; widened stages add a
+///    gradient all-reduce;
+/// 3. updates start once every student of the round finished (the
+///    barrier), then chain per device;
+/// 4. the shared loader pool bounds the round from below.
+pub fn barrier_period(
+    plan: &StagePlan,
+    table: &ProfileTable,
+    workload: &Workload,
+    hw: &HardwareConfig,
+    global_batch: usize,
+) -> SimTime {
+    let mut arrival = stage0_consume(plan, workload, hw, global_batch);
+    let mut students_done = Vec::with_capacity(plan.stages.len());
+    let mut shares = Vec::with_capacity(plan.stages.len());
+    for (i, stage) in plan.stages.iter().enumerate() {
+        let db = stage.device_batch(global_batch);
+        let teach = teacher_chain(stage, table, db);
+        students_done.push(arrival + teach + student_chain(stage, table, db));
+        shares.push(stage_allreduce(stage, workload, hw));
+        if i + 1 < plan.stages.len() {
+            arrival = arrival + teach + relay_time(stage, workload, hw, global_batch);
+        }
+    }
+    let all_students = *students_done.iter().max().expect("plans are nonempty");
+    let period = plan
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, stage)| {
+            let updates_start = (students_done[i] + shares[i]).max(all_students);
+            updates_start + update_chain(stage, table)
+        })
+        .max()
+        .expect("plans are nonempty");
+    let consumers = plan.stages[0].width();
+    let db0 = plan.stages[0].device_batch(global_batch);
+    period.max(loader_bound(consumers, db0, workload, hw))
+}
+
+/// Analytic steady-state round period of the data-parallel baseline
+/// (Fig. 3a) during phase `phase` on `ranks` devices.
+///
+/// Every device repeats, back to back: consume its batch shard, run the
+/// redundant teacher prefix `0..=phase`, run student `phase`, all-reduce
+/// its gradients, update. Decode overlaps through prefetching, so the
+/// shared loader pool only binds when its service time exceeds the compute
+/// chain.
+///
+/// `table` must have been profiled for at least `ranks` devices at this
+/// global batch (the shard size must be a profiled batch).
+pub fn dp_phase_period(
+    phase: usize,
+    table: &ProfileTable,
+    workload: &Workload,
+    hw: &HardwareConfig,
+    global_batch: usize,
+    ranks: usize,
+) -> SimTime {
+    let shard = global_batch.div_ceil(ranks);
+    let bytes = shard as u64 * workload.dataset.sample_bytes();
+    let prefix: SimTime = (0..=phase).map(|b| table.teacher_time(b, shard)).sum();
+    let grad_bytes = 4 * workload.model.blocks[phase].student_params;
+    let compute = hw.host.consume_time(shard, bytes, &hw.pcie)
+        + prefix
+        + table.student_time(phase, shard)
+        + hw.pcie.allreduce_time(grad_bytes, ranks)
+        + table.update_time(phase);
+    compute.max(loader_bound(ranks, shard, workload, hw))
+}
+
+/// Analytic epoch-equivalent DP makespan: `rounds` rounds of every phase,
+/// each at that phase's steady-state period. More ranks must never
+/// increase this prediction in the paper's operating regime (the
+/// monotonicity property the conformance proptests pin).
+pub fn dp_makespan(
+    table: &ProfileTable,
+    workload: &Workload,
+    hw: &HardwareConfig,
+    global_batch: usize,
+    ranks: usize,
+    rounds: u32,
+) -> SimTime {
+    let total: SimTime = (0..workload.num_blocks())
+        .map(|phase| {
+            let p = dp_phase_period(phase, table, workload, hw, global_batch, ranks);
+            SimTime::from_ns(p.as_ns() * u64::from(rounds))
+        })
+        .sum();
+    total
+}
+
+/// Analytic steady-state round period of the layerwise-scheduling
+/// baseline: each device runs its packed block tasks sequentially at the
+/// full batch (teacher prefix re-runs per task), devices are independent,
+/// and the shared loader pool serves one full batch per active device per
+/// round.
+pub fn ls_round_period(
+    assignment: &LsAssignment,
+    table: &ProfileTable,
+    workload: &Workload,
+    hw: &HardwareConfig,
+    global_batch: usize,
+) -> SimTime {
+    let bytes = global_batch as u64 * workload.dataset.sample_bytes();
+    let consume = hw.host.consume_time(global_batch, bytes, &hw.pcie);
+    let mut active = 0usize;
+    let mut worst = SimTime::ZERO;
+    for blocks in &assignment.device_blocks {
+        if blocks.is_empty() {
+            continue;
+        }
+        active += 1;
+        let mut t = consume;
+        for &b in blocks {
+            let prefix: SimTime = (0..=b).map(|k| table.teacher_time(k, global_batch)).sum();
+            t += prefix + table.student_time(b, global_batch) + table.update_time(b);
+        }
+        worst = worst.max(t);
+    }
+    worst.max(loader_bound(active, global_batch, workload, hw))
+}
+
+/// Pipeline fill latency of a plan: the time until the *last* stage
+/// receives its first input (stage-0 consume, then each earlier stage's
+/// teacher chain plus the relay hop). Grows strictly with pipeline depth —
+/// every extra stage adds a relay hop and moves teacher work ahead of the
+/// last stage — which is the second monotonicity property the conformance
+/// proptests pin.
+pub fn fill_time(
+    plan: &StagePlan,
+    table: &ProfileTable,
+    workload: &Workload,
+    hw: &HardwareConfig,
+    global_batch: usize,
+) -> SimTime {
+    let mut t = stage0_consume(plan, workload, hw, global_batch);
+    for stage in &plan.stages[..plan.stages.len() - 1] {
+        let db = stage.device_batch(global_batch);
+        t = t + teacher_chain(stage, table, db) + relay_time(stage, workload, hw, global_batch);
+    }
+    t
 }
 
 #[cfg(test)]
@@ -109,6 +388,96 @@ mod tests {
             t_split.as_secs_f64() > 0.5 * t_full.as_secs_f64(),
             "2-way split must not halve time (occupancy + allreduce overhead)"
         );
+    }
+
+    #[test]
+    fn barrier_period_dominates_dpu_period() {
+        // A per-round barrier serializes the relay chain; the barrier
+        // period must exceed the DPU steady-state period (max stage time)
+        // on any multi-stage plan.
+        let (w, hw, table) = setup();
+        for plan in [
+            StagePlan::contiguous(6, 4).unwrap(),
+            StagePlan::from_widths(&[(3, 3), (3, 1)], 6, 4).unwrap(),
+        ] {
+            let dpu = estimate_period(&plan, &table, &w, &hw, 256);
+            let barrier = barrier_period(&plan, &table, &w, &hw, 256);
+            assert!(
+                barrier > dpu,
+                "{plan}: barrier {barrier} must exceed DPU {dpu}"
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_period_of_single_stage_includes_whole_round() {
+        // One stage, one device: the barrier round is simply the full
+        // serial chain (consume + teachers + students + updates).
+        let (w, hw, table) = setup();
+        let plan = StagePlan::from_widths(&[(6, 1)], 6, 1).unwrap();
+        let stage = &plan.stages[0];
+        let serial: SimTime = stage0_consume(&plan, &w, &hw, 256)
+            + teacher_chain(stage, &table, 256)
+            + student_chain(stage, &table, 256)
+            + update_chain(stage, &table);
+        assert_eq!(barrier_period(&plan, &table, &w, &hw, 256), serial);
+    }
+
+    #[test]
+    fn bottleneck_stage_points_at_heaviest() {
+        let (w, hw, table) = setup();
+        let plan = StagePlan::from_widths(&[(1, 1), (5, 3)], 6, 4).unwrap();
+        let times = stage_times(&plan, &table, &w, &hw, 256);
+        let (idx, margin) = bottleneck_stage(&plan, &table, &w, &hw, 256);
+        assert_eq!(times[idx], *times.iter().max().unwrap());
+        assert!(margin >= 1.0);
+    }
+
+    #[test]
+    fn dp_phase_period_grows_with_phase() {
+        // The redundant teacher prefix lengthens every phase.
+        let (w, hw, table) = setup();
+        let mut prev = SimTime::ZERO;
+        for phase in 0..w.num_blocks() {
+            let p = dp_phase_period(phase, &table, &w, &hw, 256, 4);
+            assert!(p > prev, "phase {phase} must be slower than phase-1");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn dp_makespan_sums_phases() {
+        let (w, hw, table) = setup();
+        let per_phase: SimTime = (0..w.num_blocks())
+            .map(|p| dp_phase_period(p, &table, &w, &hw, 256, 4))
+            .sum();
+        let m = dp_makespan(&table, &w, &hw, 256, 4, 3);
+        assert_eq!(m.as_ns(), per_phase.as_ns() * 3);
+    }
+
+    #[test]
+    fn ls_round_period_tracks_packing_makespan() {
+        // The LS estimate adds loading on top of the packer's own
+        // device-cost estimate, so it must be at least the packed makespan.
+        let (w, hw, table) = setup();
+        let assignment = crate::ls::pack(&w, &table, 4, 256);
+        let period = ls_round_period(&assignment, &table, &w, &hw, 256);
+        assert!(period >= assignment.makespan);
+    }
+
+    #[test]
+    fn fill_time_grows_with_depth() {
+        let (w, hw, table) = setup();
+        let mut prev = SimTime::ZERO;
+        for stages in 1..=4 {
+            let plan = StagePlan::contiguous(6, stages).unwrap();
+            let fill = fill_time(&plan, &table, &w, &hw, 256);
+            assert!(
+                fill > prev,
+                "{stages}-stage fill {fill} must exceed shallower {prev}"
+            );
+            prev = fill;
+        }
     }
 
     #[test]

@@ -86,8 +86,13 @@ fn member_time(cost: &CostModel, workload: &Workload, stage: &Stage, shard: usiz
 }
 
 /// Splits `batch` across the stage's members proportionally to their
-/// measured throughput on this stage (largest-remainder rounding; every
-/// member gets at least one sample).
+/// measured throughput on this stage (largest-remainder rounding).
+///
+/// Every member gets at least one sample when `batch >= width`; with fewer
+/// samples than members (`batch < width`, e.g. batch 1 on a wide stage)
+/// only the `batch` fastest members receive a sample and the rest sit the
+/// round out with a zero shard. Degenerate throughput probes (all-zero or
+/// non-finite speeds) fall back to an even split.
 pub fn proportional_split(
     costs: &[CostModel],
     workload: &Workload,
@@ -98,9 +103,10 @@ pub fn proportional_split(
     if m == 1 {
         return vec![batch];
     }
-    // Throughput probe at the even split.
-    let even = batch.div_ceil(m);
-    let speeds: Vec<f64> = stage
+    // Throughput probe at the even split (at least one sample so the cost
+    // model sees a well-defined occupancy).
+    let even = batch.div_ceil(m).max(1);
+    let mut speeds: Vec<f64> = stage
         .devices
         .iter()
         .map(|&d| {
@@ -113,6 +119,26 @@ pub fn proportional_split(
         })
         .collect();
     let total_speed: f64 = speeds.iter().sum();
+    if !total_speed.is_finite() || total_speed <= 0.0 {
+        speeds = vec![1.0; m];
+    }
+    let total_speed: f64 = speeds.iter().sum();
+    if batch < m {
+        // Not every member can receive a sample: the fastest `batch`
+        // members get one each (stable on ties: lower member index wins).
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            speeds[b]
+                .partial_cmp(&speeds[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut alloc = vec![0usize; m];
+        for &i in order.iter().take(batch) {
+            alloc[i] = 1;
+        }
+        return alloc;
+    }
     // Largest-remainder allocation with a floor of 1 sample.
     let mut shares: Vec<(usize, f64)> = speeds
         .iter()
@@ -125,7 +151,9 @@ pub fn proportional_split(
         .collect();
     let mut assigned: usize = alloc.iter().sum();
     // Fix rounding drift: hand out remaining samples by largest remainder,
-    // or claw back from the smallest remainders.
+    // or claw back from the smallest remainders (terminates because the
+    // floor-of-1 total never exceeds `batch` when every member can shrink
+    // to 1 and `batch >= m`).
     shares.sort_by(|a, b| {
         let ra = a.1 - a.1.floor();
         let rb = b.1 - b.1.floor();
@@ -160,6 +188,11 @@ pub fn stage_time_hetero(
     let split = proportional_split(costs, workload, stage, batch);
     let mut worst = SimTime::ZERO;
     for (member, &d) in stage.devices.iter().enumerate() {
+        if split[member] == 0 {
+            // A member without samples does no work this round (batch
+            // smaller than the stage width).
+            continue;
+        }
         let mut t = member_time(&costs[d], workload, stage, split[member]);
         if stage.first_block == 0 {
             let bytes = split[member] as u64 * workload.dataset.sample_bytes();
@@ -322,6 +355,85 @@ mod tests {
             assert_eq!(split.len(), stage.width());
             assert_eq!(split.iter().sum::<usize>(), 256);
         }
+    }
+
+    #[test]
+    fn batch_smaller_than_width_gives_fastest_members_one_sample() {
+        // batch=1 on a 4-wide stage used to hang the claw-back loop (every
+        // alloc already at the floor of 1); now the fastest member gets the
+        // single sample and the others sit out.
+        let w = Workload::nas_imagenet();
+        let server = mixed_server();
+        let costs: Vec<CostModel> = server
+            .gpus
+            .iter()
+            .map(|g| CostModel::new(g.clone()))
+            .collect();
+        let stage = Stage {
+            first_block: 0,
+            num_blocks: 1,
+            devices: vec![0, 1, 2, 3],
+        };
+        let split = proportional_split(&costs, &w, &stage, 1);
+        assert_eq!(split.iter().sum::<usize>(), 1);
+        assert_eq!(split[0], 1, "the A6000 (rank 0) must take the sample");
+        let split3 = proportional_split(&costs, &w, &stage, 3);
+        assert_eq!(split3.iter().sum::<usize>(), 3);
+        assert_eq!(
+            split3,
+            vec![1, 1, 1, 0],
+            "three samples go to the three fastest (ties break low-rank)"
+        );
+        // The stage time stays well-defined: zero-shard members are idle.
+        let (t, split) = stage_time_hetero(&costs, &w, &server, &stage, 1);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(split.iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn search_handles_batch_one_and_more_ranks_than_blocks() {
+        // More ranks than blocks forces wide stages; batch=1 then exercises
+        // the zero-shard path end to end through the search.
+        let w = Workload::synthetic(2, false);
+        let server = mixed_server(); // 4 ranks, 2 blocks
+        let d = search(&w, &server, 1);
+        d.plan.validate().unwrap();
+        for (stage, split) in d.plan.stages.iter().zip(d.splits.iter()) {
+            assert_eq!(split.len(), stage.width());
+            assert_eq!(split.iter().sum::<usize>(), 1);
+        }
+        assert!(d.estimate > SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_throughput_rank_still_gets_a_floor_share() {
+        // A rank whose cost model predicts (effectively) zero throughput
+        // must not starve the split of samples or produce NaN shares: it
+        // receives the floor of one sample, the rest go to real ranks.
+        let w = Workload::nas_imagenet();
+        let mut dead = GpuModel::a6000();
+        dead.peak_flops = 1.0; // ~zero throughput
+        dead.mem_bw = 1.0;
+        let server = HeteroServer::new(vec![
+            GpuModel::a6000(),
+            GpuModel::a6000(),
+            GpuModel::a6000(),
+            dead,
+        ]);
+        let costs: Vec<CostModel> = server
+            .gpus
+            .iter()
+            .map(|g| CostModel::new(g.clone()))
+            .collect();
+        let stage = Stage {
+            first_block: 0,
+            num_blocks: 1,
+            devices: vec![0, 1, 2, 3],
+        };
+        let split = proportional_split(&costs, &w, &stage, 64);
+        assert_eq!(split.iter().sum::<usize>(), 64);
+        assert_eq!(split[3], 1, "dead rank is clamped to the floor share");
+        assert!(split[0] > 16, "live ranks absorb the dead rank's load");
     }
 
     #[test]

@@ -42,7 +42,10 @@ mod profile;
 
 pub use ahd::AhdDecision;
 pub use cost::CostModel;
-pub use estimate::{estimate_period, stage_time};
+pub use estimate::{
+    barrier_period, bottleneck_stage, dp_makespan, dp_phase_period, estimate_period, fill_time,
+    ls_round_period, stage_time, stage_times,
+};
 pub use hetero::{HeteroDecision, HeteroServer};
 pub use ls::LsAssignment;
 pub use plan::{

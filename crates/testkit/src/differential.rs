@@ -1,0 +1,361 @@
+//! The differential harness: per scenario, run the executor parity check
+//! and the simulator-vs-estimator check, judged against the declared
+//! [`ToleranceBook`].
+//!
+//! Every check records what it measured (not just pass/fail): a
+//! [`ScenarioOutcome`] carries the observed parameter/loss differences,
+//! the simulated/analytic ratio, and the budgets they were judged
+//! against, and a [`ConformanceReport`] bundling a whole sweep is a
+//! persistable artifact — the regression gate's auditable record.
+
+use pipebd_core::exec::{reference, threaded, FuncConfig, FuncOutcome};
+use pipebd_core::lower::{lower, relay, Lowering};
+use pipebd_core::{ExecutorChoice, Strategy};
+use pipebd_data::SyntheticImageDataset;
+use pipebd_models::{mini_student_dsconv, mini_student_supernet, mini_teacher, MiniConfig};
+use pipebd_sched::{
+    barrier_period, bottleneck_stage, dp_phase_period, estimate_period, ls, ls_round_period,
+    CostModel, Profiler, StagePlan,
+};
+use pipebd_sim::{busy_per_gpu, simulate, SimTime, TaskGraph};
+use pipebd_tensor::Rng64;
+use serde::{Deserialize, Serialize};
+
+use crate::{ConformanceStrategy, Scenario, ToleranceBook};
+use pipebd_artifact::ArtifactPayload;
+
+/// What one scenario measured, with the budgets it was judged against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// The scenario id this outcome belongs to.
+    pub id: String,
+    /// Maximum absolute parameter difference, subject vs reference.
+    pub max_param_diff: f64,
+    /// Maximum absolute per-step loss difference, subject vs reference.
+    pub max_loss_diff: f64,
+    /// The executor tolerance asserted (`0.0` = bitwise).
+    pub exec_tolerance: f64,
+    /// Whether the executor differential passed.
+    pub exec_ok: bool,
+    /// Simulated / analytic steady-state period ratio.
+    pub sim_ratio: f64,
+    /// Lower bound of the asserted ratio budget.
+    pub ratio_lo: f64,
+    /// Upper bound of the asserted ratio budget.
+    pub ratio_hi: f64,
+    /// Whether the simulator-vs-estimator check passed.
+    pub sim_ok: bool,
+    /// Whether the bottleneck-stage agreement check was asserted (only
+    /// when the estimator's margin is decisive on a multi-stage plan).
+    pub bottleneck_checked: bool,
+    /// Whether the simulator's busiest rank sat in the estimator's
+    /// predicted bottleneck stage (`true` when unchecked).
+    pub bottleneck_ok: bool,
+    /// Overall verdict.
+    pub pass: bool,
+    /// Failure detail, empty on pass.
+    pub detail: String,
+}
+
+/// A persisted conformance sweep: every scenario's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConformanceReport {
+    /// Scenarios run.
+    pub scenarios: usize,
+    /// Scenarios that failed any check.
+    pub failures: usize,
+    /// Per-scenario outcomes, in sweep order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl ArtifactPayload for ConformanceReport {
+    const SCHEMA: &'static str = "pipebd.conformance_report";
+    const VERSION: u32 = 1;
+}
+
+/// Steady-state period of a simulated task graph: the spread of the last
+/// `tail` per-step completion times, averaged. `steps` is the total number
+/// of `step` tags the graph was emitted with; the window must sit inside
+/// one steady regime (for DP: within the last phase).
+///
+/// # Panics
+///
+/// Panics if `tail >= steps`.
+pub fn simulated_round_period(graph: &TaskGraph, steps: u32, tail: u32) -> SimTime {
+    assert!(tail < steps, "tail window must leave a base step");
+    let run = simulate(graph);
+    let mut end = vec![SimTime::ZERO; steps as usize];
+    for (id, task) in graph.iter() {
+        let f = run.finish[id.index()];
+        let s = task.step as usize;
+        if f > end[s] {
+            end[s] = f;
+        }
+    }
+    let last = end[steps as usize - 1];
+    let base = end[steps as usize - 1 - tail as usize];
+    SimTime::from_ns((last.as_ns() - base.as_ns()) / u64::from(tail))
+}
+
+/// The executor differential: reference semantics vs the scenario's
+/// subject executor on real miniature models.
+fn exec_differential(s: &Scenario) -> Result<(f64, f64), String> {
+    let cfg = MiniConfig {
+        blocks: s.blocks,
+        channels: 6,
+        batch_norm: false,
+    };
+    let mut rng = Rng64::seed_from_u64(s.seed);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let student = if s.supernet {
+        mini_student_supernet(cfg, &mut rng)
+    } else {
+        mini_student_dsconv(cfg, &mut rng)
+    };
+    let data = SyntheticImageDataset::mini(64, 8, 4, s.seed.rotate_left(17));
+    let (plan, dpu) = s.exec_plan()?;
+    let func = FuncConfig {
+        devices: s.ranks,
+        steps: s.exec_steps,
+        batch: s.exec_batch,
+        lr: 0.05,
+        momentum: 0.9,
+        plan: Some(plan),
+        decoupled_updates: dpu,
+    };
+    let golden = reference::run(&teacher, &student, &data, &func)
+        .map_err(|e| format!("reference run failed: {e}"))?;
+    let subject: FuncOutcome = match s.subject {
+        ExecutorChoice::Reference => reference::run(&teacher, &student, &data, &func)
+            .map_err(|e| format!("second reference run failed: {e}"))?,
+        ExecutorChoice::Threaded => threaded::run(&teacher, &student, &data, &func)
+            .map_err(|e| format!("threaded run failed: {e}"))?,
+    };
+    Ok((
+        f64::from(subject.max_param_diff(&golden)),
+        f64::from(subject.max_loss_diff(&golden)),
+    ))
+}
+
+/// The simulator-vs-estimator differential: lower the scenario's schedule
+/// into the event simulator and compare its steady-state period against
+/// the analytic prediction. Returns `(ratio, bottleneck_checked,
+/// bottleneck_ok)`.
+fn sim_differential(s: &Scenario, book: &ToleranceBook) -> Result<(f64, bool, bool), String> {
+    let w = s.workload();
+    let hw = s.hardware();
+    let table =
+        Profiler::new(CostModel::new(hw.gpu.clone())).profile(&w.model, s.sim_batch, s.ranks);
+    match s.strategy {
+        ConformanceStrategy::Dp => {
+            let rounds = 6u32;
+            let l = Lowering::new(&w, &hw, s.sim_batch, rounds);
+            let lowered =
+                lower(&l, Strategy::DataParallel).map_err(|e| format!("DP lowering: {e}"))?;
+            let blocks = w.num_blocks();
+            let steps = blocks as u32 * rounds;
+            let simulated = simulated_round_period(&lowered.graph, steps, 3);
+            let analytic = dp_phase_period(blocks - 1, &table, &w, &hw, s.sim_batch, s.ranks);
+            Ok((ratio(simulated, analytic), false, true))
+        }
+        ConformanceStrategy::Ls => {
+            let rounds = 8u32;
+            let l = Lowering::new(&w, &hw, s.sim_batch, rounds);
+            let lowered = lower(&l, Strategy::LayerwiseScheduling)
+                .map_err(|e| format!("LS lowering: {e}"))?;
+            let simulated = simulated_round_period(&lowered.graph, rounds, 4);
+            let assignment = ls::pack(&w, &table, s.ranks, s.sim_batch);
+            let analytic = ls_round_period(&assignment, &table, &w, &hw, s.sim_batch);
+            Ok((ratio(simulated, analytic), false, true))
+        }
+        _ => {
+            let (plan, dpu) = s
+                .sim_plan()?
+                .ok_or_else(|| "plan strategies carry a plan".to_string())?;
+            let rounds = 16u32;
+            let l = Lowering::new(&w, &hw, s.sim_batch, rounds);
+            // Lower once; the same graph serves the steady-state period
+            // measurement and the bottleneck busy-time check.
+            let lowered = relay::lower_plan(&l, &plan, dpu);
+            let simulated = simulated_round_period(&lowered.graph, rounds, 6);
+            let analytic = if dpu {
+                estimate_period(&plan, &table, &w, &hw, s.sim_batch)
+            } else {
+                barrier_period(&plan, &table, &w, &hw, s.sim_batch)
+            };
+            let (checked, ok) =
+                bottleneck_agreement(&plan, &lowered.graph, &table, &w, &hw, s, book);
+            Ok((ratio(simulated, analytic), checked, ok))
+        }
+    }
+}
+
+fn ratio(simulated: SimTime, analytic: SimTime) -> f64 {
+    let a = analytic.as_secs_f64();
+    if a <= 0.0 {
+        return f64::INFINITY;
+    }
+    simulated.as_secs_f64() / a
+}
+
+/// When the estimator's bottleneck margin is decisive, the simulator's
+/// busiest rank must sit in the predicted bottleneck stage. `graph` is
+/// the plan's already-lowered task graph.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck_agreement(
+    plan: &StagePlan,
+    graph: &TaskGraph,
+    table: &pipebd_sched::ProfileTable,
+    w: &pipebd_models::Workload,
+    hw: &pipebd_sim::HardwareConfig,
+    s: &Scenario,
+    book: &ToleranceBook,
+) -> (bool, bool) {
+    if plan.stages.len() < 2 {
+        return (false, true);
+    }
+    let (idx, margin) = bottleneck_stage(plan, table, w, hw, s.sim_batch);
+    if margin < book.bottleneck_margin {
+        return (false, true);
+    }
+    let busy = busy_per_gpu(graph);
+    let busiest = busy
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, t)| **t)
+        .map(|(d, _)| d)
+        .unwrap_or(0);
+    (true, plan.stages[idx].devices.contains(&busiest))
+}
+
+/// Runs both differential checks for one scenario under the given
+/// tolerance book.
+///
+/// The caller owns the process-global kernel policy: the regression gate
+/// sets it per scenario (it sweeps sequentially), while in-test sweeps
+/// filter scenarios to the ambient policy so parallel tests never touch
+/// global state.
+pub fn run_scenario(s: &Scenario, book: &ToleranceBook) -> ScenarioOutcome {
+    let budget = book.sim_budget(s.strategy);
+    let mut outcome = ScenarioOutcome {
+        id: s.id.clone(),
+        max_param_diff: f64::NAN,
+        max_loss_diff: f64::NAN,
+        exec_tolerance: f64::NAN,
+        exec_ok: false,
+        sim_ratio: f64::NAN,
+        ratio_lo: budget.lo,
+        ratio_hi: budget.hi,
+        sim_ok: false,
+        bottleneck_checked: false,
+        bottleneck_ok: false,
+        pass: false,
+        detail: String::new(),
+    };
+    let mut failures: Vec<String> = Vec::new();
+
+    match s.exec_tolerance() {
+        Ok(tol) => {
+            outcome.exec_tolerance = f64::from(tol);
+            match exec_differential(s) {
+                Ok((param_diff, loss_diff)) => {
+                    outcome.max_param_diff = param_diff;
+                    outcome.max_loss_diff = loss_diff;
+                    let worst = param_diff.max(loss_diff);
+                    outcome.exec_ok = if tol == 0.0 {
+                        worst == 0.0
+                    } else {
+                        worst < f64::from(tol)
+                    };
+                    if !outcome.exec_ok {
+                        failures.push(format!(
+                            "executor drift: param {param_diff:.3e} / loss {loss_diff:.3e} vs tolerance {tol:.0e}"
+                        ));
+                    }
+                }
+                Err(e) => failures.push(e),
+            }
+        }
+        Err(e) => failures.push(e),
+    }
+
+    match sim_differential(s, book) {
+        Ok((r, checked, ok)) => {
+            outcome.sim_ratio = r;
+            outcome.sim_ok = budget.contains(r);
+            outcome.bottleneck_checked = checked;
+            outcome.bottleneck_ok = ok;
+            if !outcome.sim_ok {
+                failures.push(format!(
+                    "sim/estimate ratio {r:.3} outside [{:.2}, {:.2}]",
+                    budget.lo, budget.hi
+                ));
+            }
+            if checked && !ok {
+                failures.push("bottleneck stage disagreement".to_string());
+            }
+        }
+        Err(e) => failures.push(e),
+    }
+
+    outcome.pass = failures.is_empty();
+    outcome.detail = failures.join("; ");
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipebd_sim::{Resource, TaskKind};
+
+    #[test]
+    fn simulated_round_period_measures_a_uniform_pipeline() {
+        // 1 GPU, 10 steps of a single 10 µs task each: the steady period
+        // is exactly 10 µs regardless of the tail length.
+        let mut g = TaskGraph::new(1);
+        let mut prev = None;
+        for step in 0..10u32 {
+            let t = g.add_tagged(
+                Resource::Gpu(0),
+                TaskKind::Teacher,
+                SimTime::from_us(10.0),
+                prev.into_iter().collect(),
+                None,
+                step,
+            );
+            prev = Some(t);
+        }
+        for tail in [1, 4, 8] {
+            assert_eq!(simulated_round_period(&g, 10, tail), SimTime::from_us(10.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tail window")]
+    fn simulated_round_period_rejects_degenerate_tail() {
+        let g = TaskGraph::new(1);
+        let _ = simulated_round_period(&g, 4, 4);
+    }
+
+    #[test]
+    fn one_scenario_passes_end_to_end() {
+        // The cheapest scenario in the matrix, run for real: a 3-block
+        // 2-rank TR+DPU pipeline under the ambient kernel policy.
+        let book = ToleranceBook::gate_default();
+        let all = crate::enumerate();
+        let ambient = pipebd_tensor::kernel_policy().to_string();
+        let s = all
+            .iter()
+            .find(|s| {
+                s.blocks == 3
+                    && s.ranks == 2
+                    && s.strategy == ConformanceStrategy::TrDpu
+                    && s.kernel_policy == ambient
+                    && s.subject == ExecutorChoice::Threaded
+            })
+            .expect("matrix covers the smoke scenario");
+        let outcome = run_scenario(s, &book);
+        assert!(outcome.pass, "{}: {}", outcome.id, outcome.detail);
+        assert_eq!(outcome.max_param_diff, 0.0, "width-1 plan is bitwise");
+    }
+}

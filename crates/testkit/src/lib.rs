@@ -1,0 +1,48 @@
+//! The conformance plane: one harness that forces the repository's three
+//! independently-built planes to agree with each other.
+//!
+//! Pipe-BD's claims rest on three components telling the same story:
+//!
+//! 1. the **executed pipeline** (`pipebd_core::exec`) — real training on
+//!    device threads;
+//! 2. the **discrete-event simulator** (`pipebd_sim`) — the stand-in for
+//!    the paper's hardware;
+//! 3. the **analytic estimator** (`pipebd_sched::estimate`) — the cost
+//!    model the AHD search minimizes.
+//!
+//! PipeDream-style profile-driven planning is only as trustworthy as the
+//! fidelity of its predictions against real execution, and BaPipe shows
+//! balanced-pipeline conclusions flip when per-stage cost assumptions
+//! drift. Before this crate the planes were spot-checked pairwise in a
+//! handful of tests; here the cross-product of model shapes × strategies ×
+//! executors × kernel policies × batch/rank configurations is enumerated
+//! deterministically ([`enumerate`]) and every scenario runs the full
+//! differential ([`run_scenario`]):
+//!
+//! * **Executor differential** — [`ReferenceExecutor`] vs the scenario's
+//!   subject executor on real miniature models: bit-level loss/parameter
+//!   agreement for width-1 plans, reassociation-bounded (`1e-4`) for
+//!   batch-split plans;
+//! * **Simulator vs estimator** — the scenario's plan (or baseline
+//!   schedule) lowered into the event simulator, its steady-state period
+//!   checked against the analytic prediction within a per-strategy
+//!   relative-error budget ([`ToleranceBook`]), plus a bottleneck-stage
+//!   agreement check when the estimator's margin is decisive.
+//!
+//! Scenarios ([`Scenario`]) and outcomes ([`ConformanceReport`]) are
+//! serializable artifacts, persisted through `pipebd_artifact` by the
+//! `regression_gate` binary so every CI run leaves an auditable record.
+//! Everything is seeded and `Date`-free: the same commit always enumerates
+//! and replays the same scenarios.
+//!
+//! [`ReferenceExecutor`]: pipebd_core::exec::ReferenceExecutor
+
+#![warn(missing_docs)]
+
+mod differential;
+mod scenario;
+mod tolerance;
+
+pub use differential::{run_scenario, simulated_round_period, ConformanceReport, ScenarioOutcome};
+pub use scenario::{enumerate, ConformanceStrategy, Scenario, ScenarioSet, SimWorkload};
+pub use tolerance::{RatioBudget, ToleranceBook};

@@ -1,0 +1,520 @@
+//! Deterministic scenario enumeration: the cross-product the conformance
+//! plane sweeps.
+//!
+//! A [`Scenario`] pins every axis that can change what the three planes
+//! compute: the model shape (block count, imbalance, student family), the
+//! scheduling strategy, the subject executor, the kernel policy, and the
+//! batch/rank configuration. Enumeration is pure — no clocks, no ambient
+//! RNG — so a scenario id names the same work on every machine, and the
+//! per-scenario seed is derived from the id (FNV-1a), not from state.
+//!
+//! # Strategy → executor-plan mapping
+//!
+//! The functional executors run *stage plans*; the two paper baselines do
+//! not have one, but their computation does (the paper's whole Section
+//! VII-D point is that every strategy computes the same training):
+//!
+//! * **DP** trains every block data-parallel over all ranks with averaged
+//!   shard gradients — numerically the internal-relaying plan (all blocks
+//!   on all ranks, batch split), so DP scenarios run that plan.
+//! * **LS** trains each block independently at the full batch —
+//!   numerically the width-1 relayed pipeline, so LS scenarios run the
+//!   contiguous plan (bitwise tolerance: no gradient averaging anywhere).
+//!
+//! The sim-vs-estimator direction keeps the real DP/LS schedules: those
+//! scenarios lower the actual baseline task graphs and check them against
+//! the dedicated analytic estimators (`dp_phase_period`,
+//! `ls_round_period`).
+
+use pipebd_core::ExecutorChoice;
+use pipebd_models::Workload;
+use pipebd_sched::{ahd, CostModel, HeteroServer, Profiler, StagePlan};
+use pipebd_sim::{GpuModel, HardwareConfig};
+use pipebd_tensor::KernelPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::ToleranceBook;
+use pipebd_artifact::ArtifactPayload;
+
+/// The strategy axis of the conformance matrix.
+///
+/// Covers the paper's two baselines, the three relay-family schedules, an
+/// explicit hybrid plan, and both plan searches (homogeneous AHD and the
+/// heterogeneous extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConformanceStrategy {
+    /// Block-by-block data parallelism (Fig. 3a).
+    Dp,
+    /// Layerwise bin-packing (Blakeney et al.).
+    Ls,
+    /// Plain teacher relaying with the per-round barrier (Fig. 3b).
+    Tr,
+    /// Teacher relaying with decoupled parameter update (Fig. 3c).
+    TrDpu,
+    /// Internal relaying: one all-rank stage over every block.
+    TrIr,
+    /// A fixed hybrid plan (first block batch-split, rest pipelined).
+    Hybrid,
+    /// The plan chosen by the homogeneous AHD search (Fig. 3d).
+    Ahd,
+    /// The plan chosen by the heterogeneous AHD search on a mixed
+    /// A6000/2080 Ti server.
+    HeteroAhd,
+}
+
+impl ConformanceStrategy {
+    /// Every strategy, in matrix order.
+    pub const ALL: [ConformanceStrategy; 8] = [
+        ConformanceStrategy::Dp,
+        ConformanceStrategy::Ls,
+        ConformanceStrategy::Tr,
+        ConformanceStrategy::TrDpu,
+        ConformanceStrategy::TrIr,
+        ConformanceStrategy::Hybrid,
+        ConformanceStrategy::Ahd,
+        ConformanceStrategy::HeteroAhd,
+    ];
+
+    /// Short label used in scenario ids and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConformanceStrategy::Dp => "dp",
+            ConformanceStrategy::Ls => "ls",
+            ConformanceStrategy::Tr => "tr",
+            ConformanceStrategy::TrDpu => "dpu",
+            ConformanceStrategy::TrIr => "ir",
+            ConformanceStrategy::Hybrid => "hybrid",
+            ConformanceStrategy::Ahd => "ahd",
+            ConformanceStrategy::HeteroAhd => "hetero",
+        }
+    }
+}
+
+impl std::fmt::Display for ConformanceStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The workload the simulator/estimator direction runs on.
+///
+/// `Synthetic` scenarios lower the *same* plan the executor differential
+/// runs (uniform heavy blocks: agreement is near exact, pinning the
+/// estimator bit-for-bit against the simulator). The paper-workload
+/// scenarios exercise the estimators in the regime where loading, relays,
+/// and block imbalance genuinely matter — the fidelity BaPipe warns
+/// about — at that workload's real block count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimWorkload {
+    /// `Workload::synthetic(blocks, heavy_first)` — mirrors the executor
+    /// differential's miniature models.
+    Synthetic,
+    /// NAS on CIFAR-10 (6 blocks, MobileNetV2 → ProxylessNAS).
+    NasCifar10,
+    /// Model compression on CIFAR-10 (13 blocks, VGG-16 → DS-Conv).
+    CompressionCifar10,
+}
+
+impl SimWorkload {
+    /// Short tag used in scenario ids.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SimWorkload::Synthetic => "syn",
+            SimWorkload::NasCifar10 => "nas",
+            SimWorkload::CompressionCifar10 => "vgg",
+        }
+    }
+}
+
+/// One point of the conformance matrix: everything needed to replay both
+/// differential checks, serializable so sweeps leave an auditable record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Unique, human-readable id (also the artifact lookup key), e.g.
+    /// `"syn4h-r4-ahd-blocked-threaded"`.
+    pub id: String,
+    /// Deterministic RNG seed for model init and data (FNV-1a of `id`).
+    pub seed: u64,
+    /// Block count of the executor differential's mini models (and of the
+    /// synthetic sim workload when `sim_workload` is `Synthetic`).
+    pub blocks: usize,
+    /// Whether the synthetic workload's block 0 is ~8× heavier (the
+    /// ImageNet imbalance shape).
+    pub heavy_first: bool,
+    /// Which workload the simulator/estimator direction runs on.
+    pub sim_workload: SimWorkload,
+    /// Whether the executor differential trains the NAS supernet student
+    /// (with architecture parameters) instead of the DS-Conv student.
+    pub supernet: bool,
+    /// Device count (threads for the executors, GPUs for the simulator).
+    pub ranks: usize,
+    /// Global batch for the simulator/estimator direction.
+    pub sim_batch: usize,
+    /// Global batch for the functional executors (divisible by every
+    /// stage width the plan space can produce).
+    pub exec_batch: usize,
+    /// Optimizer steps the executor differential trains for.
+    pub exec_steps: usize,
+    /// The scheduling strategy under test.
+    pub strategy: ConformanceStrategy,
+    /// The subject executor compared against the reference semantics
+    /// (`Reference` makes the scenario a determinism check).
+    pub subject: ExecutorChoice,
+    /// Kernel policy label (`"naive"` or `"blocked"`); see
+    /// [`Scenario::kernel_policy`].
+    pub kernel_policy: String,
+}
+
+/// FNV-1a over a string — the id→seed derivation (no ambient state).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Scenario {
+    /// The typed kernel policy (the serialized field is a label because
+    /// `KernelPolicy` lives below the serde boundary).
+    pub fn kernel_policy(&self) -> KernelPolicy {
+        if self.kernel_policy == "naive" {
+            KernelPolicy::Naive
+        } else {
+            KernelPolicy::Blocked
+        }
+    }
+
+    /// The workload of the simulator/estimator direction.
+    pub fn workload(&self) -> Workload {
+        match self.sim_workload {
+            SimWorkload::Synthetic => Workload::synthetic(self.blocks, self.heavy_first),
+            SimWorkload::NasCifar10 => Workload::nas_cifar10(),
+            SimWorkload::CompressionCifar10 => Workload::compression_cifar10(),
+        }
+    }
+
+    /// The simulated homogeneous server the plan is checked on.
+    pub fn hardware(&self) -> HardwareConfig {
+        HardwareConfig::a6000_server(self.ranks)
+    }
+
+    /// The strategy's stage plan for an arbitrary workload (`None` for DP
+    /// and LS, which have no stage plan — their simulator direction uses
+    /// the genuine baseline lowering, their executor direction the
+    /// numerically-equivalent plans of [`Scenario::exec_plan`]).
+    fn strategy_plan(&self, w: &Workload) -> Result<Option<(StagePlan, bool)>, String> {
+        let b = w.num_blocks();
+        let contiguous = || StagePlan::contiguous(b, self.ranks).map_err(|e| e.to_string());
+        match self.strategy {
+            ConformanceStrategy::Dp | ConformanceStrategy::Ls => Ok(None),
+            ConformanceStrategy::Tr => Ok(Some((contiguous()?, false))),
+            ConformanceStrategy::TrDpu => Ok(Some((contiguous()?, true))),
+            ConformanceStrategy::TrIr => {
+                Ok(Some((StagePlan::internal_relaying(b, self.ranks), true)))
+            }
+            ConformanceStrategy::Hybrid => {
+                let half = self.ranks / 2;
+                let plan =
+                    StagePlan::from_widths(&[(1, half), (b - 1, self.ranks - half)], b, self.ranks)
+                        .map_err(|e| e.to_string())?;
+                Ok(Some((plan, true)))
+            }
+            ConformanceStrategy::Ahd => {
+                let hw = self.hardware();
+                let table = Profiler::new(CostModel::new(hw.gpu.clone())).profile(
+                    &w.model,
+                    self.sim_batch,
+                    self.ranks,
+                );
+                Ok(Some((
+                    ahd::search(w, &table, &hw, self.sim_batch).plan,
+                    true,
+                )))
+            }
+            ConformanceStrategy::HeteroAhd => {
+                let gpus = (0..self.ranks)
+                    .map(|r| {
+                        if r % 2 == 0 {
+                            GpuModel::a6000()
+                        } else {
+                            GpuModel::rtx2080ti()
+                        }
+                    })
+                    .collect();
+                let server = HeteroServer::new(gpus);
+                Ok(Some((
+                    pipebd_sched::hetero::search(w, &server, self.sim_batch).plan,
+                    true,
+                )))
+            }
+        }
+    }
+
+    /// The stage plan the *simulator/estimator* direction lowers, plus
+    /// whether updates are decoupled; `None` for DP and LS.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration cannot be laid out (plain
+    /// TR with fewer blocks than ranks — the enumerator never emits it).
+    pub fn sim_plan(&self) -> Result<Option<(StagePlan, bool)>, String> {
+        self.strategy_plan(&self.workload())
+    }
+
+    /// The plan the *executor differential* runs on the miniature models
+    /// (always at `self.blocks`; the numerically equivalent plan for
+    /// DP/LS, see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::sim_plan`].
+    pub fn exec_plan(&self) -> Result<(StagePlan, bool), String> {
+        match self.strategy {
+            ConformanceStrategy::Dp => {
+                Ok((StagePlan::internal_relaying(self.blocks, self.ranks), true))
+            }
+            ConformanceStrategy::Ls => Ok((
+                StagePlan::contiguous(self.blocks, self.ranks).map_err(|e| e.to_string())?,
+                true,
+            )),
+            _ => self
+                .strategy_plan(&Workload::synthetic(self.blocks, self.heavy_first))?
+                .ok_or_else(|| "plan strategies always carry a plan".to_string()),
+        }
+    }
+
+    /// The executor-differential tolerance this scenario asserts: bitwise
+    /// (`0.0`) when the executed plan has no batch splitting, the
+    /// float-reassociation bound otherwise (averaging shard gradients
+    /// reorders float sums).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::sim_plan`].
+    pub fn exec_tolerance(&self) -> Result<f32, String> {
+        let (plan, _) = self.exec_plan()?;
+        Ok(ToleranceBook::exec_tolerance(plan.uses_batch_split()))
+    }
+}
+
+/// A persisted scenario sweep (the enumeration a gate run covered).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSet {
+    /// One-line description of the sweep.
+    pub description: String,
+    /// All scenarios, in enumeration order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ArtifactPayload for ScenarioSet {
+    const SCHEMA: &'static str = "pipebd.scenario_set";
+    const VERSION: u32 = 1;
+}
+
+/// The model-shape axis: `(blocks, heavy_first, supernet_student)`.
+const SHAPES: [(usize, bool, bool); 4] = [
+    (3, false, false),
+    (4, false, false),
+    (4, true, true),
+    (6, false, false),
+];
+
+/// The rank axis with each rank count's executor batch (divisible by
+/// every stage width ≤ ranks, so any searched plan is runnable).
+const RANKS: [(usize, usize); 2] = [(2, 8), (4, 12)];
+
+/// Whether a strategy needs a contiguous plan (and therefore at least as
+/// many blocks as ranks).
+fn needs_contiguous(strategy: ConformanceStrategy) -> bool {
+    matches!(
+        strategy,
+        ConformanceStrategy::Ls | ConformanceStrategy::Tr | ConformanceStrategy::TrDpu
+    )
+}
+
+/// Enumerates the full conformance matrix, deterministically.
+///
+/// Two slices:
+///
+/// * the **synthetic slice** — shapes × ranks × kernel policies ×
+///   strategies, where the simulator direction lowers the same synthetic
+///   structure the executors train (agreement is near exact and pinned
+///   tightly);
+/// * the **paper slice** — NAS/compression CIFAR-10 sim workloads at
+///   their real block counts, one kernel policy (the kernel policy only
+///   affects the executor direction, which the synthetic slice already
+///   sweeps), exercising the estimators where loading and imbalance
+///   matter.
+///
+/// Skips only structurally impossible combinations (contiguous plans with
+/// fewer blocks than ranks; the hybrid shape on fewer than 3 ranks).
+/// Subject-`Reference` scenarios (executor-determinism checks) are
+/// emitted for the TR+DPU strategy slice.
+pub fn enumerate() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for (blocks, heavy_first, supernet) in SHAPES {
+        for (ranks, exec_batch) in RANKS {
+            for policy in ["blocked", "naive"] {
+                for strategy in ConformanceStrategy::ALL {
+                    if needs_contiguous(strategy) && blocks < ranks {
+                        continue;
+                    }
+                    if strategy == ConformanceStrategy::Hybrid && ranks < 3 {
+                        continue;
+                    }
+                    let subjects: &[ExecutorChoice] = if strategy == ConformanceStrategy::TrDpu {
+                        &[ExecutorChoice::Threaded, ExecutorChoice::Reference]
+                    } else {
+                        &[ExecutorChoice::Threaded]
+                    };
+                    for &subject in subjects {
+                        let id = format!(
+                            "syn{blocks}{}-r{ranks}-{strategy}-{policy}-{}",
+                            if heavy_first { "h" } else { "u" },
+                            subject.label(),
+                        );
+                        out.push(Scenario {
+                            seed: fnv1a(&id),
+                            id,
+                            blocks,
+                            heavy_first,
+                            sim_workload: SimWorkload::Synthetic,
+                            supernet,
+                            ranks,
+                            sim_batch: 256,
+                            exec_batch,
+                            exec_steps: 3,
+                            strategy,
+                            subject,
+                            kernel_policy: policy.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for sim_workload in [SimWorkload::NasCifar10, SimWorkload::CompressionCifar10] {
+        for (ranks, exec_batch) in RANKS {
+            for strategy in ConformanceStrategy::ALL {
+                // Paper workloads have 6/13 blocks: contiguous plans always
+                // fit on up to 4 ranks; only the hybrid shape needs 3+.
+                if strategy == ConformanceStrategy::Hybrid && ranks < 3 {
+                    continue;
+                }
+                let id = format!(
+                    "{}-r{ranks}-{strategy}-blocked-threaded",
+                    sim_workload.tag()
+                );
+                out.push(Scenario {
+                    seed: fnv1a(&id),
+                    id,
+                    blocks: 4,
+                    heavy_first: false,
+                    sim_workload,
+                    supernet: false,
+                    ranks,
+                    sim_batch: 256,
+                    exec_batch,
+                    exec_steps: 3,
+                    strategy,
+                    subject: ExecutorChoice::Threaded,
+                    kernel_policy: "blocked".to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_deterministic_and_large_enough() {
+        let a = enumerate();
+        let b = enumerate();
+        assert_eq!(a, b);
+        assert!(a.len() >= 60, "only {} scenarios", a.len());
+    }
+
+    #[test]
+    fn ids_are_unique_and_seed_derived() {
+        let all = enumerate();
+        let mut ids: Vec<&str> = all.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len(), "duplicate scenario ids");
+        for s in &all {
+            assert_eq!(s.seed, fnv1a(&s.id));
+        }
+    }
+
+    #[test]
+    fn every_scenario_has_a_runnable_exec_plan() {
+        for s in enumerate() {
+            let (plan, _) = s.exec_plan().unwrap_or_else(|e| panic!("{}: {e}", s.id));
+            plan.validate().unwrap();
+            assert_eq!(plan.num_blocks, s.blocks);
+            assert_eq!(plan.num_devices, s.ranks);
+            for stage in &plan.stages {
+                assert_eq!(
+                    s.exec_batch % stage.width(),
+                    0,
+                    "{}: batch {} not divisible by width {}",
+                    s.id,
+                    s.exec_batch,
+                    stage.width()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axes_are_covered() {
+        let all = enumerate();
+        for strategy in ConformanceStrategy::ALL {
+            assert!(all.iter().any(|s| s.strategy == strategy), "{strategy}");
+        }
+        assert!(all.iter().any(|s| s.kernel_policy == "naive"));
+        assert!(all.iter().any(|s| s.kernel_policy == "blocked"));
+        assert!(all.iter().any(|s| s.subject == ExecutorChoice::Reference));
+        assert!(all.iter().any(|s| s.supernet));
+        assert!(all.iter().any(|s| s.heavy_first));
+        assert!(all.iter().any(|s| s.ranks == 2) && all.iter().any(|s| s.ranks == 4));
+    }
+
+    #[test]
+    fn dp_and_ls_map_to_equivalent_plans() {
+        let all = enumerate();
+        let dp = all
+            .iter()
+            .find(|s| s.strategy == ConformanceStrategy::Dp && s.ranks == 4)
+            .unwrap();
+        let (plan, dpu) = dp.exec_plan().unwrap();
+        assert!(dpu);
+        assert_eq!(plan.stages.len(), 1, "DP ≡ internal relaying");
+        assert!(plan.uses_batch_split());
+        let ls = all
+            .iter()
+            .find(|s| s.strategy == ConformanceStrategy::Ls && s.ranks == 4)
+            .unwrap();
+        let (plan, _) = ls.exec_plan().unwrap();
+        assert!(!plan.uses_batch_split(), "LS ≡ width-1 pipeline (bitwise)");
+        assert_eq!(ls.exec_tolerance().unwrap(), 0.0);
+        assert!(dp.exec_tolerance().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn scenario_set_roundtrips_through_serde() {
+        let set = ScenarioSet {
+            description: "test".into(),
+            scenarios: enumerate(),
+        };
+        let value = pipebd_json::to_value(&set).expect("serialize");
+        let back: ScenarioSet = pipebd_json::from_value(&value).expect("deserialize");
+        assert_eq!(back, set);
+    }
+}

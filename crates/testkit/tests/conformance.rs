@@ -1,0 +1,100 @@
+//! The conformance matrix, run in-test.
+//!
+//! Kernel policy discipline: these tests never touch the process-global
+//! kernel policy — they run the scenarios whose declared policy matches
+//! the ambient one (`PIPEBD_KERNEL_POLICY`), so the default CI leg covers
+//! the blocked half of the matrix and the `PIPEBD_KERNEL_POLICY=naive`
+//! leg covers the naive half, with no cross-test races. The full
+//! both-policy sweep runs in the release-mode `regression_gate` CI lane.
+//!
+//! The default test samples the matrix (debug-mode budget); the exhaustive
+//! ambient-policy sweep is `#[ignore]`d for on-demand runs:
+//! `cargo test -p pipebd_testkit --test conformance -- --ignored`.
+
+use pipebd_artifact::ArtifactStore;
+use pipebd_testkit::{
+    enumerate, run_scenario, ConformanceReport, Scenario, ScenarioSet, ToleranceBook,
+};
+
+/// Scenarios whose declared kernel policy matches the ambient one.
+fn ambient_scenarios() -> Vec<Scenario> {
+    let ambient = pipebd_tensor::kernel_policy().to_string();
+    enumerate()
+        .into_iter()
+        .filter(|s| s.kernel_policy == ambient)
+        .collect()
+}
+
+fn assert_all_pass(scenarios: impl Iterator<Item = Scenario>) {
+    let book = ToleranceBook::gate_default();
+    let mut ran = 0usize;
+    for s in scenarios {
+        let outcome = run_scenario(&s, &book);
+        assert!(outcome.pass, "{}: {}", outcome.id, outcome.detail);
+        ran += 1;
+    }
+    assert!(ran > 0, "no scenarios matched the ambient kernel policy");
+}
+
+#[test]
+fn sampled_matrix_conforms_under_ambient_policy() {
+    // Every 7th scenario: cheap enough for the debug-mode tier-1 run,
+    // still touching every strategy over the whole matrix ordering.
+    assert_all_pass(ambient_scenarios().into_iter().step_by(7));
+}
+
+#[test]
+#[ignore = "exhaustive ambient-policy sweep (~minutes in debug); the release-mode regression_gate CI lane covers the full matrix"]
+fn full_matrix_conforms_under_ambient_policy() {
+    assert_all_pass(ambient_scenarios().into_iter());
+}
+
+#[test]
+fn scenario_artifacts_roundtrip_through_the_store() {
+    let root = std::env::temp_dir().join(format!("pipebd_testkit_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = ArtifactStore::at(root);
+
+    let set = ScenarioSet {
+        description: "roundtrip".into(),
+        scenarios: enumerate(),
+    };
+    store.save("CONFORMANCE_scenarios", &set).expect("save set");
+    let back: ScenarioSet = store.load("CONFORMANCE_scenarios").expect("load set");
+    assert_eq!(back, set);
+
+    // One genuinely-run outcome survives persistence bit-for-bit.
+    let book = ToleranceBook::gate_default();
+    let ambient = pipebd_tensor::kernel_policy().to_string();
+    let scenario = set
+        .scenarios
+        .iter()
+        .find(|s| s.blocks == 3 && s.ranks == 2 && s.kernel_policy == ambient)
+        .expect("small scenario exists");
+    let outcome = run_scenario(scenario, &book);
+    let report = ConformanceReport {
+        scenarios: 1,
+        failures: usize::from(!outcome.pass),
+        outcomes: vec![outcome],
+    };
+    store
+        .save("CONFORMANCE_report", &report)
+        .expect("save report");
+    let back: ConformanceReport = store.load("CONFORMANCE_report").expect("load report");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn matrix_meets_the_declared_floor() {
+    let all = enumerate();
+    assert!(
+        all.len() >= 60,
+        "conformance matrix shrank to {} scenarios",
+        all.len()
+    );
+    // Both CI policy legs must see a non-trivial share of the matrix.
+    let naive = all.iter().filter(|s| s.kernel_policy == "naive").count();
+    let blocked = all.iter().filter(|s| s.kernel_policy == "blocked").count();
+    assert!(naive >= 20, "naive leg covers only {naive} scenarios");
+    assert!(blocked >= 20, "blocked leg covers only {blocked} scenarios");
+}

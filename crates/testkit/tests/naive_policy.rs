@@ -1,0 +1,49 @@
+//! Executor equivalence under the naive kernel path, pinned explicitly.
+//!
+//! The CI matrix runs the whole tier-1 suite once per kernel policy
+//! (`PIPEBD_KERNEL_POLICY=naive` leg), which keeps the naive oracle green
+//! environment-wide; this test additionally pins the property *inside* a
+//! default run, so a local `cargo test` cannot pass while the naive path
+//! breaks executor parity.
+//!
+//! This file deliberately contains a single `#[test]`: it flips the
+//! process-global kernel policy, and being alone in its test binary means
+//! no concurrently-running test can observe the flip (other test binaries
+//! are separate processes).
+
+use pipebd_core::ExecutorChoice;
+use pipebd_tensor::{kernel_policy, set_kernel_policy, KernelPolicy};
+use pipebd_testkit::{enumerate, run_scenario, ConformanceStrategy, ToleranceBook};
+
+#[test]
+fn executor_equivalence_holds_under_naive_kernels() {
+    let before = kernel_policy();
+    set_kernel_policy(KernelPolicy::Naive);
+    let result = std::panic::catch_unwind(|| {
+        let book = ToleranceBook::gate_default();
+        let all = enumerate();
+        // One bitwise pipeline scenario and one gradient-averaging
+        // scenario, both declared naive, smallest shapes in the matrix.
+        for (strategy, blocks, ranks) in [
+            (ConformanceStrategy::TrDpu, 3, 2),
+            (ConformanceStrategy::TrIr, 3, 2),
+        ] {
+            let s = all
+                .iter()
+                .find(|s| {
+                    s.strategy == strategy
+                        && s.blocks == blocks
+                        && s.ranks == ranks
+                        && s.kernel_policy == "naive"
+                        && s.subject == ExecutorChoice::Threaded
+                })
+                .expect("matrix covers the naive scenarios");
+            let outcome = run_scenario(s, &book);
+            assert!(outcome.pass, "{}: {}", outcome.id, outcome.detail);
+        }
+    });
+    set_kernel_policy(before);
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}

@@ -1,0 +1,124 @@
+//! Estimator-vs-simulator monotonicity properties.
+//!
+//! Two structural laws the conformance plane pins beyond per-scenario
+//! ratio checks:
+//!
+//! 1. **DP scaling** — adding ranks never increases the *predicted* DP
+//!    makespan, and the event simulator agrees. Scoped to rank counts
+//!    that divide the global batch: with a non-divisor count the
+//!    ceiling-rounded shard genuinely adds total work (6 ranks × ⌈128/6⌉
+//!    = 132 samples), so the law does not — and should not — hold there.
+//! 2. **Pipeline fill** — the analytic fill time of a contiguous plan
+//!    grows strictly with pipeline depth (every extra stage adds a relay
+//!    hop and moves teacher work ahead of the last stage), and the
+//!    simulated arrival of the last stage's first input tracks it.
+
+use pipebd_core::lower::{lower, relay, Lowering};
+use pipebd_core::Strategy;
+use pipebd_models::Workload;
+use pipebd_sched::{dp_makespan, fill_time, CostModel, Profiler, StagePlan};
+use pipebd_sim::{simulate, HardwareConfig, Resource, SimTime, TaskKind};
+use proptest::prelude::*;
+
+fn workload(index: usize) -> Workload {
+    match index {
+        0 => Workload::nas_cifar10(),
+        1 => Workload::compression_cifar10(),
+        2 => Workload::nas_imagenet(),
+        _ => Workload::synthetic(6, index % 2 == 0),
+    }
+}
+
+/// Simulated time at which the last stage of a plan receives its first
+/// input: the earliest start of a last-stage GPU task in round 0.
+fn simulated_fill(l: &Lowering<'_>, plan: &StagePlan) -> SimTime {
+    let lowered = relay::lower_plan(l, plan, true);
+    let run = simulate(&lowered.graph);
+    let last = plan.stages.last().expect("plans are nonempty");
+    lowered
+        .graph
+        .iter()
+        .filter(|(_, t)| {
+            t.step == 0
+                && t.kind == TaskKind::Teacher
+                && matches!(t.resource, Resource::Gpu(d) if last.devices.contains(&d))
+        })
+        .map(|(id, _)| run.start_of(id))
+        .min()
+        .expect("last stage runs teachers in round 0")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn dp_makespan_never_increases_with_divisor_ranks(
+        wi in 0usize..4,
+        bi in 0usize..3,
+    ) {
+        let w = workload(wi);
+        let batch = [128usize, 256, 512][bi];
+        let mut prev_est = f64::INFINITY;
+        let mut prev_sim = f64::INFINITY;
+        for ranks in [1usize, 2, 4, 8] {
+            let hw = HardwareConfig::a6000_server(ranks);
+            let table = Profiler::new(CostModel::new(hw.gpu.clone()))
+                .profile(&w.model, batch, ranks);
+            let est = dp_makespan(&table, &w, &hw, batch, ranks, 2).as_secs_f64();
+            prop_assert!(
+                est <= prev_est * (1.0 + 1e-9),
+                "estimator: {} b{batch}: {ranks} ranks predicts {est:.6}s > fewer-rank {prev_est:.6}s",
+                w.label()
+            );
+            let l = Lowering::new(&w, &hw, batch, 2);
+            let sim = simulate(&lower(&l, Strategy::DataParallel).unwrap().graph)
+                .makespan
+                .as_secs_f64();
+            prop_assert!(
+                sim <= prev_sim * (1.0 + 1e-9),
+                "simulator: {} b{batch}: {ranks} ranks takes {sim:.6}s > fewer-rank {prev_sim:.6}s",
+                w.label()
+            );
+            prev_est = est;
+            prev_sim = sim;
+        }
+    }
+
+    #[test]
+    fn pipeline_fill_grows_with_depth(
+        wi in 0usize..4,
+        bi in 0usize..3,
+    ) {
+        let w = workload(wi);
+        let batch = [128usize, 256, 512][bi];
+        let max_stages = w.num_blocks().min(4);
+        let hw = HardwareConfig::a6000_server(max_stages);
+        let table = Profiler::new(CostModel::new(hw.gpu.clone()))
+            .profile(&w.model, batch, max_stages);
+        let l = Lowering::new(&w, &hw, batch, 2);
+        let mut prev_est = SimTime::ZERO;
+        let mut prev_sim = SimTime::ZERO;
+        for stages in 1..=max_stages {
+            // Contiguous plans with unused trailing ranks idle: rebuild the
+            // plan at exactly `stages` devices so depth is the only axis.
+            let plan = StagePlan::contiguous(w.num_blocks(), stages).unwrap();
+            let est = fill_time(&plan, &table, &w, &hw, batch);
+            prop_assert!(
+                est > prev_est,
+                "estimator: {} b{batch}: {stages}-stage fill {est} !> {prev_est}",
+                w.label()
+            );
+            prev_est = est;
+            if stages > 1 {
+                // A 1-stage "pipeline" has no relay; compare from 2 up.
+                let sim = simulated_fill(&l, &plan);
+                prop_assert!(
+                    sim >= prev_sim,
+                    "simulator: {} b{batch}: {stages}-stage fill {sim} < {prev_sim}",
+                    w.label()
+                );
+                prev_sim = sim;
+            }
+        }
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`artifact`] — the persistent artifact store: schema-tagged run
 //!   reports, schedules, profiles, and bench baselines under
 //!   `target/artifacts/`.
+//! * [`testkit`] — the conformance plane: deterministic scenario
+//!   enumeration and the differential harness cross-checking the
+//!   executors, the simulator, and the analytic estimator.
 //!
 //! # Quickstart
 //!
@@ -48,3 +51,4 @@ pub use pipebd_nn as nn;
 pub use pipebd_sched as sched;
 pub use pipebd_sim as sim;
 pub use pipebd_tensor as tensor;
+pub use pipebd_testkit as testkit;
