@@ -14,11 +14,13 @@
 //!   the baseline's** — on foreign machines the nanosecond comparison is
 //!   reported but informational (the escape hatch; speedup *ratios* are
 //!   still enforced).
-//! * **`--self-test`** — prove the perf gate actually fires: inject a
-//!   fixture baseline whose records make the current run look 2× slower
-//!   (same fingerprint), assert the comparison fails, then assert the
-//!   current run compared against itself passes. Exit 0 iff the gate
-//!   behaved correctly both ways.
+//! * **`--self-test`** — prove both gate halves actually fire. Perf: an
+//!   injected fixture baseline makes the current run look 2× slower (same
+//!   fingerprint) and must fail the comparison, while the run compared
+//!   against itself must pass. Fault budgets: a replanned slowdown
+//!   scenario must pass the declared `ToleranceBook` and must *fail* once
+//!   its fault-class budget is sabotaged to an unsatisfiable window. Exit
+//!   0 iff every probe behaved correctly both ways.
 //!
 //! Flags / environment:
 //!
@@ -36,7 +38,10 @@ use pipebd_artifact::{
     machine_fingerprint, ArtifactError, ArtifactStore, BenchKernels, BenchSuite, BenchTolerance,
 };
 use pipebd_tensor::{kernel_policy, set_kernel_policy};
-use pipebd_testkit::{enumerate, run_scenario, ConformanceReport, ScenarioSet, ToleranceBook};
+use pipebd_testkit::{
+    enumerate, run_scenario, ConformanceReport, FaultClass, RatioBudget, ScenarioSet, SimWorkload,
+    ToleranceBook,
+};
 
 /// Minimum fraction of the baseline's kernel speedup the current run must
 /// retain (ratios transfer across machines, so this is enforced even when
@@ -76,8 +81,17 @@ fn conformance_sweep(store: &ArtifactStore) -> usize {
         let outcome = run_scenario(s, &book);
         let verdict = if outcome.pass { "ok  " } else { "FAIL" };
         println!(
-            "  {verdict} {id:<28} param {param:>9.2e}  loss {loss:>9.2e}  sim/est {ratio:>6.3} in [{lo:.2},{hi:.2}]{bn}{detail}",
+            "  {verdict} {id:<28} param {param:>9.2e}  loss {loss:>9.2e}  sim/est {ratio:>6.3} in [{lo:.2},{hi:.2}]{bn}{fault}{detail}",
             id = outcome.id,
+            fault = if outcome.fault_class.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "  fault:{}:{}",
+                    outcome.fault_class,
+                    if outcome.replan { "replan" } else { "static" }
+                )
+            },
             param = outcome.max_param_diff,
             loss = outcome.max_loss_diff,
             ratio = outcome.sim_ratio,
@@ -233,6 +247,55 @@ fn perf_gate(
     fatal
 }
 
+/// Proves the conformance gate's fault budgets fire: one replanned
+/// slowdown scenario must pass under the declared tolerance book and fail
+/// — with the fault class named in the detail — under a sabotaged book
+/// whose slowdown budget no real run can satisfy.
+fn fault_self_test() -> bool {
+    let all = enumerate();
+    let Some(s) = all.iter().find(|s| {
+        s.sim_workload == SimWorkload::Synthetic
+            && s.ranks == 4
+            && s.fault
+                .as_ref()
+                .is_some_and(|f| f.class == FaultClass::Slowdown && f.replan)
+    }) else {
+        eprintln!("fault self-test FAILED: no replanned slowdown scenario in the matrix");
+        return false;
+    };
+    let book = ToleranceBook::gate_default();
+    let honest = run_scenario(s, &book);
+    if !honest.pass {
+        eprintln!(
+            "fault self-test FAILED: `{}` does not pass the declared book ({})",
+            honest.id, honest.detail
+        );
+        return false;
+    }
+    let mut sabotaged = book.clone();
+    sabotaged.fault_slowdown = RatioBudget { lo: 0.0, hi: 1e-3 };
+    let fired = run_scenario(s, &sabotaged);
+    if fired.pass {
+        eprintln!(
+            "fault self-test FAILED: `{}` passed a budget no real period can meet — the fault gate never fires",
+            fired.id
+        );
+        return false;
+    }
+    if !fired.detail.contains("slowdown") {
+        eprintln!(
+            "fault self-test FAILED: `{}` failure detail does not name the fault class: {}",
+            fired.id, fired.detail
+        );
+        return false;
+    }
+    println!(
+        "fault self-test: `{}` ratio {:.3} passes [{:.2},{:.2}], fails the sabotaged budget with: {}",
+        honest.id, honest.sim_ratio, honest.ratio_lo, honest.ratio_hi, fired.detail
+    );
+    true
+}
+
 /// Proves the perf gate fires: an injected baseline that makes the current
 /// run look 2× slower must produce regressions; the current run against
 /// itself must not.
@@ -328,12 +391,14 @@ fn main() {
     if self_test_mode {
         pipebd_bench::header(
             "Regression gate — self-test",
-            "inject a 2x-slowdown fixture and prove the perf gate fires",
+            "inject failing fixtures and prove both gate halves fire",
         );
-        if !self_test(&current_store, &baseline_store) {
+        let perf_ok = self_test(&current_store, &baseline_store);
+        let fault_ok = fault_self_test();
+        if !perf_ok || !fault_ok {
             std::process::exit(1);
         }
-        println!("regression gate self-test passed");
+        println!("regression gate self-test passed (perf + fault budgets)");
         return;
     }
 

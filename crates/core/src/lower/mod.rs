@@ -7,6 +7,7 @@
 
 pub mod dp;
 pub mod epochs;
+pub mod fault;
 pub mod ir;
 pub mod ls;
 pub mod relay;

@@ -40,20 +40,57 @@ pub fn lower_ahd(l: &Lowering<'_>) -> Result<Lowered, String> {
     Ok(lower_plan(l, &decision.plan, true))
 }
 
-/// Emits the relayed pipeline schedule for an explicit plan.
-pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
-    let n = l.hw.num_gpus;
-    let mut g = TaskGraph::new(n);
-    let mut recent_consumes: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-    // Update tasks of the previous round (barrier deps when !dpu).
-    let mut prev_round_updates: Vec<TaskId> = Vec::new();
+/// Incremental emitter of relayed-pipeline rounds.
+///
+/// Owns the task graph plus the state that crosses round boundaries — the
+/// per-consumer prefetch throttle and the previous round's barrier updates
+/// — so callers can splice rounds of *different* plans into one schedule.
+/// [`lower_plan`] drives it with a single plan and the identity device
+/// map; the fault plane (`super::fault`) re-plans at fault boundaries and
+/// switches plan and device map mid-schedule.
+pub(crate) struct RoundEmitter<'l, 'a> {
+    l: &'l Lowering<'a>,
+    pub(crate) graph: TaskGraph,
+    /// Consume tasks per *physical* rank (prefetch throttling).
+    recent_consumes: Vec<Vec<TaskId>>,
+    /// Update tasks of the previous round (barrier deps when `!dpu`).
+    prev_round_updates: Vec<TaskId>,
+}
 
-    for round in 0..l.rounds {
+impl<'l, 'a> RoundEmitter<'l, 'a> {
+    pub(crate) fn new(l: &'l Lowering<'a>) -> Self {
+        let n = l.hw.num_gpus;
+        RoundEmitter {
+            l,
+            graph: TaskGraph::new(n),
+            recent_consumes: vec![Vec::new(); n],
+            prev_round_updates: Vec::new(),
+        }
+    }
+
+    /// Emits one round of `plan`.
+    ///
+    /// `map` sends the plan's logical device ranks to physical GPU ranks
+    /// (`map[d] = d` reproduces the classic lowering exactly);
+    /// `extra_deps` additionally gate the round's stage-0 inputs — the
+    /// replan-barrier tasks at a segment splice. Every other task of the
+    /// round chains off stage 0 (directly or through relay sends), so
+    /// gating stage 0 gates the round.
+    pub(crate) fn emit_round(
+        &mut self,
+        plan: &StagePlan,
+        dpu: bool,
+        round: u32,
+        map: &[usize],
+        extra_deps: &[TaskId],
+    ) {
+        let l = self.l;
+        let g = &mut self.graph;
         // Boundary sends of the previous stage within this round.
         let mut prev_stage_sends: Vec<TaskId> = Vec::new();
         let mut this_round_students: Vec<TaskId> = Vec::new();
         // Deferred update emission for the barrier (non-DPU) case:
-        // (device, block, deps-so-far).
+        // (logical device, block, deps-so-far).
         let mut pending_updates: Vec<(usize, usize, TaskId)> = Vec::new();
 
         for stage in &plan.stages {
@@ -62,22 +99,25 @@ pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
             let mut stage_sends: Vec<TaskId> = Vec::new();
 
             for &d in &stage.devices {
+                let p = map[d];
                 // Input: load for stage 0, relay receive otherwise.
                 let mut input_deps: Vec<TaskId> = if stage.first_block == 0 {
-                    let throttle = recent_consumes[d]
+                    let throttle = self.recent_consumes[p]
                         .len()
                         .checked_sub(PREFETCH_DEPTH)
-                        .map(|idx| recent_consumes[d][idx]);
-                    let (_, consume) = l.emit_load(&mut g, d, db, round, throttle);
-                    recent_consumes[d].push(consume);
-                    vec![consume]
+                        .map(|idx| self.recent_consumes[p][idx]);
+                    let (_, consume) = l.emit_load(g, p, db, round, throttle);
+                    self.recent_consumes[p].push(consume);
+                    let mut deps = vec![consume];
+                    deps.extend_from_slice(extra_deps);
+                    deps
                 } else {
                     prev_stage_sends.clone()
                 };
                 // Without DPU the new round may not start before the global
                 // barrier of the previous round resolved.
                 if !dpu {
-                    input_deps.extend(prev_round_updates.iter().copied());
+                    input_deps.extend(self.prev_round_updates.iter().copied());
                 }
 
                 // Teacher chain over the stage's blocks.
@@ -88,7 +128,7 @@ pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
                         Some(t) => vec![t],
                     };
                     let teach = g.add_tagged(
-                        Resource::Gpu(d),
+                        Resource::Gpu(p),
                         TaskKind::Teacher,
                         l.teacher(b, db),
                         deps,
@@ -105,7 +145,7 @@ pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
                 if last_block + 1 < plan.num_blocks {
                     let bytes = l.workload.model.blocks[last_block].boundary_bytes() * db as u64;
                     let send = g.add_tagged(
-                        Resource::Copy(d),
+                        Resource::Copy(p),
                         TaskKind::Comm,
                         l.hw.pcie.transfer_time(bytes),
                         vec![last_teacher],
@@ -119,7 +159,7 @@ pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
                 let mut last_stu = None;
                 for b in stage.blocks() {
                     let stu = g.add_tagged(
-                        Resource::Gpu(d),
+                        Resource::Gpu(p),
                         TaskKind::Student,
                         l.student(b, db),
                         vec![last_stu.unwrap_or(last_teacher)],
@@ -133,7 +173,7 @@ pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
                     if dpu && stage.width() == 1 {
                         // Immediate per-block update (Fig. 3c).
                         let upd = g.add_tagged(
-                            Resource::Gpu(d),
+                            Resource::Gpu(p),
                             TaskKind::Update,
                             l.update(b),
                             vec![stu],
@@ -159,7 +199,7 @@ pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
                 let mut retained = Vec::new();
                 for &d in &stage.devices {
                     let share = g.add_tagged(
-                        Resource::Gpu(d),
+                        Resource::Gpu(map[d]),
                         TaskKind::GradShare,
                         share_time,
                         stage_students.clone(),
@@ -169,7 +209,7 @@ pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
                     for &(pd, b, _) in pending_updates.iter().filter(|(pd, _, _)| *pd == d) {
                         if dpu {
                             g.add_tagged(
-                                Resource::Gpu(pd),
+                                Resource::Gpu(map[pd]),
                                 TaskKind::Update,
                                 l.update(b),
                                 vec![share],
@@ -196,7 +236,7 @@ pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
                 let mut deps = this_round_students.clone();
                 deps.push(dep);
                 let upd = g.add_tagged(
-                    Resource::Gpu(d),
+                    Resource::Gpu(map[d]),
                     TaskKind::Update,
                     l.update(b),
                     deps,
@@ -206,11 +246,19 @@ pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
                 round_updates.push(upd);
             }
         }
-        prev_round_updates = round_updates;
+        self.prev_round_updates = round_updates;
     }
+}
 
+/// Emits the relayed pipeline schedule for an explicit plan.
+pub fn lower_plan(l: &Lowering<'_>, plan: &StagePlan, dpu: bool) -> Lowered {
+    let mut em = RoundEmitter::new(l);
+    let identity: Vec<usize> = (0..l.hw.num_gpus).collect();
+    for round in 0..l.rounds {
+        em.emit_round(plan, dpu, round, &identity, &[]);
+    }
     Lowered {
-        graph: g,
+        graph: em.graph,
         plan: Some(plan.clone()),
         ls: None,
         rounds: l.rounds,

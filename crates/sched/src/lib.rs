@@ -39,6 +39,7 @@ pub mod hetero;
 pub mod ls;
 mod plan;
 mod profile;
+pub mod replan;
 
 pub use ahd::AhdDecision;
 pub use cost::CostModel;
@@ -52,3 +53,4 @@ pub use plan::{
     compositions, enumerate_hybrid_plans, hybrid_plan_count, InvalidPlan, Stage, StagePlan,
 };
 pub use profile::{ProfileTable, Profiler};
+pub use replan::{degraded_estimate, replan_overhead, DegradedServer, ReplanDecision};

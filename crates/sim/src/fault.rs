@@ -1,0 +1,696 @@
+//! Fault scripts: deterministic perturbations of a healthy simulation.
+//!
+//! Production clusters are not the fixed, healthy servers of the paper's
+//! Table I: hosts straggle, lose devices, and (in elastic settings) join
+//! mid-run. A [`FaultScript`] is a seed-free, ordered event list — per-rank
+//! slowdown windows, host loss, host join, loader-pool degradation — that
+//! [`simulate_faulted`] applies on top of an already-lowered [`TaskGraph`]
+//! by scaling task durations per `(rank, step)`. Everything stays exactly
+//! deterministic: the same graph and script always produce the same run,
+//! and every applied event is echoed back as a [`FaultRecord`] so tests can
+//! assert the trace matches the injected script.
+//!
+//! Time in a script is measured in *training steps* (the `step` tag every
+//! lowered task carries), not wall-clock: a slowdown window `[start, end)`
+//! covers a task iff `start <= task.step < end`. That keeps scripts
+//! meaningful across strategies whose wall-clock schedules differ.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{simulate, SimRun};
+use crate::task::{Resource, TaskGraph};
+use crate::time::SimTime;
+
+/// One deterministic perturbation of the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// GPU `rank` (compute *and* copy engine) runs `factor`× slower for
+    /// every task whose step lies in `[start_step, end_step)`.
+    Slowdown {
+        /// Affected GPU rank.
+        rank: usize,
+        /// Multiplicative duration factor, `>= 1.0`.
+        factor: f64,
+        /// First slowed step (inclusive).
+        start_step: u32,
+        /// First healthy step again (exclusive bound).
+        end_step: u32,
+    },
+    /// GPU `rank` disappears at `at_step`: any task tagged with a step
+    /// `>= at_step` on that rank is a [`FaultViolation`] — the schedule
+    /// must have been replanned around the loss.
+    HostLoss {
+        /// Lost GPU rank.
+        rank: usize,
+        /// First step at which the rank is gone.
+        at_step: u32,
+    },
+    /// GPU `rank` only becomes available at `at_step` (elastic join): any
+    /// task on it tagged with an earlier step is a [`FaultViolation`].
+    HostJoin {
+        /// Joining GPU rank.
+        rank: usize,
+        /// First step at which the rank exists.
+        at_step: u32,
+    },
+    /// The shared loader pool degrades by `factor`× for steps in
+    /// `[start_step, end_step)` (e.g. host cache thrash), scaling
+    /// loader-resource task durations.
+    LoaderSlowdown {
+        /// Multiplicative duration factor, `>= 1.0`.
+        factor: f64,
+        /// First slowed step (inclusive).
+        start_step: u32,
+        /// First healthy step again (exclusive bound).
+        end_step: u32,
+    },
+}
+
+/// A deterministic, ordered list of fault events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultScript {
+    /// The events, applied in list order (slowdown factors compose
+    /// multiplicatively when windows overlap).
+    pub events: Vec<FaultEvent>,
+}
+
+/// Why a task graph cannot execute under a fault script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultViolation {
+    /// A task was scheduled on a rank after its [`FaultEvent::HostLoss`].
+    TaskOnDeadRank {
+        /// The offending rank.
+        rank: usize,
+        /// The earliest offending step.
+        step: u32,
+    },
+    /// A task was scheduled on a rank before its [`FaultEvent::HostJoin`].
+    TaskBeforeJoin {
+        /// The offending rank.
+        rank: usize,
+        /// The earliest offending step.
+        step: u32,
+    },
+    /// The script itself is malformed for this graph.
+    InvalidScript(
+        /// Human-readable reason.
+        String,
+    ),
+}
+
+impl std::fmt::Display for FaultViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultViolation::TaskOnDeadRank { rank, step } => {
+                write!(f, "task on rank {rank} at step {step} after host loss")
+            }
+            FaultViolation::TaskBeforeJoin { rank, step } => {
+                write!(f, "task on rank {rank} at step {step} before host join")
+            }
+            FaultViolation::InvalidScript(why) => write!(f, "invalid fault script: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultViolation {}
+
+impl FaultScript {
+    /// The empty script: no perturbations.
+    pub fn healthy() -> Self {
+        FaultScript::default()
+    }
+
+    /// Whether the script perturbs anything at all.
+    pub fn is_healthy(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Structural validation against a server of `num_gpus` ranks.
+    pub fn validate(&self, num_gpus: usize) -> Result<(), FaultViolation> {
+        let bad = |why: String| Err(FaultViolation::InvalidScript(why));
+        for e in &self.events {
+            match *e {
+                FaultEvent::Slowdown {
+                    rank,
+                    factor,
+                    start_step,
+                    end_step,
+                } => {
+                    if rank >= num_gpus {
+                        return bad(format!("slowdown rank {rank} of {num_gpus}"));
+                    }
+                    if !(factor.is_finite() && factor >= 1.0) {
+                        return bad(format!("slowdown factor {factor} must be >= 1"));
+                    }
+                    if start_step >= end_step {
+                        return bad(format!("slowdown window [{start_step}, {end_step}) empty"));
+                    }
+                }
+                FaultEvent::LoaderSlowdown {
+                    factor,
+                    start_step,
+                    end_step,
+                } => {
+                    if !(factor.is_finite() && factor >= 1.0) {
+                        return bad(format!("loader factor {factor} must be >= 1"));
+                    }
+                    if start_step >= end_step {
+                        return bad(format!("loader window [{start_step}, {end_step}) empty"));
+                    }
+                }
+                FaultEvent::HostLoss { rank, .. } | FaultEvent::HostJoin { rank, .. } => {
+                    if rank >= num_gpus {
+                        return bad(format!("membership rank {rank} of {num_gpus}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Combined slowdown factor for GPU `rank` at training `step`
+    /// (product over all covering windows; `1.0` when healthy).
+    pub fn factor(&self, rank: usize, step: u32) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Slowdown {
+                    rank: r,
+                    factor,
+                    start_step,
+                    end_step,
+                } if r == rank && start_step <= step && step < end_step => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Combined loader-pool slowdown factor at training `step`.
+    pub fn loader_factor(&self, step: u32) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::LoaderSlowdown {
+                    factor,
+                    start_step,
+                    end_step,
+                } if start_step <= step && step < end_step => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Whether GPU `rank` is a cluster member at training `step`.
+    pub fn alive(&self, rank: usize, step: u32) -> bool {
+        self.events.iter().all(|e| match *e {
+            FaultEvent::HostLoss { rank: r, at_step } => r != rank || step < at_step,
+            FaultEvent::HostJoin { rank: r, at_step } => r != rank || step >= at_step,
+            _ => true,
+        })
+    }
+
+    /// The member ranks of an `num_gpus`-rank server at training `step`.
+    pub fn alive_ranks(&self, num_gpus: usize, step: u32) -> Vec<usize> {
+        (0..num_gpus).filter(|&r| self.alive(r, step)).collect()
+    }
+
+    /// The sorted, deduplicated steps at which the perturbation state
+    /// changes (window starts/ends, membership transitions). Step 0 is
+    /// included only if an event fires there.
+    pub fn change_steps(&self) -> Vec<u32> {
+        let mut steps: Vec<u32> = self
+            .events
+            .iter()
+            .flat_map(|e| match *e {
+                FaultEvent::Slowdown {
+                    start_step,
+                    end_step,
+                    ..
+                }
+                | FaultEvent::LoaderSlowdown {
+                    start_step,
+                    end_step,
+                    ..
+                } => vec![start_step, end_step],
+                FaultEvent::HostLoss { at_step, .. } | FaultEvent::HostJoin { at_step, .. } => {
+                    vec![at_step]
+                }
+            })
+            .collect();
+        steps.sort_unstable();
+        steps.dedup();
+        steps
+    }
+
+    /// The last step at which anything changes (0 for a healthy script):
+    /// from here on the perturbation state is final.
+    pub fn settled_step(&self) -> u32 {
+        self.change_steps().last().copied().unwrap_or(0)
+    }
+}
+
+/// One applied script event with the number of tasks it touched.
+///
+/// For slowdowns, `tasks_affected` counts duration-scaled tasks; for
+/// [`FaultEvent::HostLoss`] it counts the rank's tasks completed *before*
+/// the loss, and for [`FaultEvent::HostJoin`] the rank's tasks *after* the
+/// join — so a record list is a full audit of how the script met the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// The script event, echoed verbatim in script order.
+    pub event: FaultEvent,
+    /// How many tasks the event touched (see type docs).
+    pub tasks_affected: usize,
+}
+
+/// The outcome of simulating a graph under a fault script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSimRun {
+    /// The timing outcome over the perturbed durations.
+    pub run: SimRun,
+    /// The perturbed graph that was executed (durations scaled; structure
+    /// and task order identical to the input graph).
+    pub graph: TaskGraph,
+    /// One record per script event, in script order.
+    pub records: Vec<FaultRecord>,
+}
+
+/// The rank a task's duration is attributed to, if any.
+fn task_rank(r: Resource) -> Option<usize> {
+    match r {
+        Resource::Gpu(i) | Resource::Copy(i) => Some(i),
+        Resource::Loader => None,
+    }
+}
+
+/// Scales a duration by a slowdown factor, rounding to the nearest tick.
+///
+/// Monotone non-decreasing in `factor`, and exactly the identity at 1.0 —
+/// the properties the fault-plane proptests rely on.
+fn scaled(d: SimTime, factor: f64) -> SimTime {
+    if factor == 1.0 {
+        return d;
+    }
+    SimTime::from_ns((d.as_ns() as f64 * factor).round() as u64)
+}
+
+/// Executes `graph` under `script`: every task's duration is scaled by the
+/// combined slowdown factor of its resource at its step, and tasks that
+/// land on non-member ranks (after a loss, before a join) are rejected.
+///
+/// A healthy script reproduces [`simulate`] exactly.
+pub fn simulate_faulted(
+    graph: &TaskGraph,
+    script: &FaultScript,
+) -> Result<FaultSimRun, FaultViolation> {
+    script.validate(graph.num_gpus())?;
+
+    let mut perturbed = TaskGraph::new(graph.num_gpus());
+    for (_, t) in graph.iter() {
+        let factor = match task_rank(t.resource) {
+            Some(rank) => {
+                if !script.alive(rank, t.step) {
+                    // Distinguish "gone" from "not yet here" for the error.
+                    let lost = script.events.iter().any(|e| {
+                        matches!(*e, FaultEvent::HostLoss { rank: r, at_step }
+                            if r == rank && t.step >= at_step)
+                    });
+                    return Err(if lost {
+                        FaultViolation::TaskOnDeadRank { rank, step: t.step }
+                    } else {
+                        FaultViolation::TaskBeforeJoin { rank, step: t.step }
+                    });
+                }
+                script.factor(rank, t.step)
+            }
+            None => script.loader_factor(t.step),
+        };
+        perturbed.add_tagged(
+            t.resource,
+            t.kind,
+            scaled(t.duration, factor),
+            t.deps.clone(),
+            t.block,
+            t.step,
+        );
+    }
+
+    let records = script
+        .events
+        .iter()
+        .map(|e| {
+            let affected = graph
+                .iter()
+                .filter(|(_, t)| match *e {
+                    FaultEvent::Slowdown {
+                        rank,
+                        start_step,
+                        end_step,
+                        ..
+                    } => {
+                        task_rank(t.resource) == Some(rank)
+                            && start_step <= t.step
+                            && t.step < end_step
+                    }
+                    FaultEvent::LoaderSlowdown {
+                        start_step,
+                        end_step,
+                        ..
+                    } => {
+                        t.resource == Resource::Loader && start_step <= t.step && t.step < end_step
+                    }
+                    FaultEvent::HostLoss { rank, at_step } => {
+                        task_rank(t.resource) == Some(rank) && t.step < at_step
+                    }
+                    FaultEvent::HostJoin { rank, at_step } => {
+                        task_rank(t.resource) == Some(rank) && t.step >= at_step
+                    }
+                })
+                .count();
+            FaultRecord {
+                event: e.clone(),
+                tasks_affected: affected,
+            }
+        })
+        .collect();
+
+    let run = simulate(&perturbed);
+    Ok(FaultSimRun {
+        run,
+        graph: perturbed,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Resource::{Copy, Gpu, Loader};
+    use crate::task::TaskKind;
+
+    fn ns(x: u64) -> SimTime {
+        SimTime::from_ns(x)
+    }
+
+    /// Two ranks, `steps` steps; rank 0 runs 100ns, rank 1 runs 50ns per
+    /// step; one 40ns loader decode per step.
+    fn two_rank_graph(steps: u32) -> TaskGraph {
+        let mut g = TaskGraph::new(2);
+        for s in 0..steps {
+            g.add_tagged(Loader, TaskKind::Load, ns(40), vec![], None, s);
+            g.add_tagged(Gpu(0), TaskKind::Student, ns(100), vec![], Some(0), s);
+            g.add_tagged(Gpu(1), TaskKind::Student, ns(50), vec![], Some(1), s);
+        }
+        g
+    }
+
+    fn gpu_duration(fsr: &FaultSimRun, rank: usize, step: u32) -> u64 {
+        fsr.graph
+            .iter()
+            .find(|(_, t)| t.resource == Gpu(rank) && t.step == step)
+            .map(|(_, t)| t.duration.as_ns())
+            .expect("task exists")
+    }
+
+    #[test]
+    fn healthy_script_reproduces_simulate_exactly() {
+        let g = two_rank_graph(4);
+        let fsr = simulate_faulted(&g, &FaultScript::healthy()).unwrap();
+        assert_eq!(fsr.run, simulate(&g));
+        assert_eq!(fsr.graph, g);
+        assert!(fsr.records.is_empty());
+    }
+
+    #[test]
+    fn slowdown_window_is_start_inclusive_end_exclusive() {
+        let g = two_rank_graph(5);
+        let script = FaultScript {
+            events: vec![FaultEvent::Slowdown {
+                rank: 0,
+                factor: 2.0,
+                start_step: 1,
+                end_step: 3,
+            }],
+        };
+        let fsr = simulate_faulted(&g, &script).unwrap();
+        assert_eq!(gpu_duration(&fsr, 0, 0), 100, "before start: healthy");
+        assert_eq!(gpu_duration(&fsr, 0, 1), 200, "start step: slowed");
+        assert_eq!(gpu_duration(&fsr, 0, 2), 200, "inside window: slowed");
+        assert_eq!(gpu_duration(&fsr, 0, 3), 100, "end step: healthy again");
+        assert_eq!(gpu_duration(&fsr, 0, 4), 100);
+        // The other rank is untouched throughout.
+        for s in 0..5 {
+            assert_eq!(gpu_duration(&fsr, 1, s), 50);
+        }
+    }
+
+    #[test]
+    fn overlapping_slowdowns_compose_multiplicatively() {
+        let script = FaultScript {
+            events: vec![
+                FaultEvent::Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 0,
+                    end_step: 4,
+                },
+                FaultEvent::Slowdown {
+                    rank: 0,
+                    factor: 1.5,
+                    start_step: 2,
+                    end_step: 6,
+                },
+            ],
+        };
+        assert_eq!(script.factor(0, 1), 2.0);
+        assert_eq!(script.factor(0, 2), 3.0);
+        assert_eq!(script.factor(0, 4), 1.5);
+        assert_eq!(script.factor(0, 6), 1.0);
+        assert_eq!(script.factor(1, 2), 1.0, "other rank unaffected");
+    }
+
+    #[test]
+    fn slowdown_scales_copy_engine_but_not_loader() {
+        let mut g = TaskGraph::new(1);
+        g.add_tagged(Loader, TaskKind::Load, ns(40), vec![], None, 0);
+        g.add_tagged(Copy(0), TaskKind::Comm, ns(10), vec![], None, 0);
+        let script = FaultScript {
+            events: vec![FaultEvent::Slowdown {
+                rank: 0,
+                factor: 3.0,
+                start_step: 0,
+                end_step: 1,
+            }],
+        };
+        let fsr = simulate_faulted(&g, &script).unwrap();
+        let durs: Vec<u64> = fsr.graph.iter().map(|(_, t)| t.duration.as_ns()).collect();
+        assert_eq!(durs, vec![40, 30], "copy scaled 3x, loader untouched");
+    }
+
+    #[test]
+    fn loader_slowdown_scales_only_the_pool() {
+        let g = two_rank_graph(2);
+        let script = FaultScript {
+            events: vec![FaultEvent::LoaderSlowdown {
+                factor: 2.0,
+                start_step: 0,
+                end_step: 1,
+            }],
+        };
+        let fsr = simulate_faulted(&g, &script).unwrap();
+        let loads: Vec<u64> = fsr
+            .graph
+            .iter()
+            .filter(|(_, t)| t.resource == Loader)
+            .map(|(_, t)| t.duration.as_ns())
+            .collect();
+        assert_eq!(loads, vec![80, 40]);
+        assert_eq!(gpu_duration(&fsr, 0, 0), 100);
+    }
+
+    #[test]
+    fn host_loss_after_the_last_step_is_clean() {
+        let g = two_rank_graph(3);
+        let script = FaultScript {
+            events: vec![FaultEvent::HostLoss {
+                rank: 1,
+                at_step: 3,
+            }],
+        };
+        let fsr = simulate_faulted(&g, &script).unwrap();
+        // All of rank 1's tasks (Gpu stream, 3 steps) completed pre-loss.
+        assert_eq!(fsr.records[0].tasks_affected, 3);
+    }
+
+    #[test]
+    fn host_loss_mid_schedule_is_a_violation() {
+        let g = two_rank_graph(5);
+        let script = FaultScript {
+            events: vec![FaultEvent::HostLoss {
+                rank: 1,
+                at_step: 2,
+            }],
+        };
+        let err = simulate_faulted(&g, &script).unwrap_err();
+        assert_eq!(err, FaultViolation::TaskOnDeadRank { rank: 1, step: 2 });
+    }
+
+    #[test]
+    fn host_join_rejects_earlier_tasks() {
+        let g = two_rank_graph(3);
+        let script = FaultScript {
+            events: vec![FaultEvent::HostJoin {
+                rank: 1,
+                at_step: 1,
+            }],
+        };
+        let err = simulate_faulted(&g, &script).unwrap_err();
+        assert_eq!(err, FaultViolation::TaskBeforeJoin { rank: 1, step: 0 });
+        assert!(!script.alive(1, 0));
+        assert!(script.alive(1, 1));
+    }
+
+    #[test]
+    fn records_match_the_injected_script_exactly() {
+        let g = two_rank_graph(4);
+        let script = FaultScript {
+            events: vec![
+                FaultEvent::Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 1,
+                    end_step: 3,
+                },
+                FaultEvent::LoaderSlowdown {
+                    factor: 1.5,
+                    start_step: 0,
+                    end_step: 2,
+                },
+                FaultEvent::HostLoss {
+                    rank: 1,
+                    at_step: 4,
+                },
+            ],
+        };
+        let fsr = simulate_faulted(&g, &script).unwrap();
+        assert_eq!(fsr.records.len(), script.events.len());
+        for (record, event) in fsr.records.iter().zip(&script.events) {
+            assert_eq!(&record.event, event, "records echo events in order");
+        }
+        // Rank 0 has one Gpu task per step, steps 1..3 → 2 tasks.
+        assert_eq!(fsr.records[0].tasks_affected, 2);
+        // Loader tasks at steps 0..2 → 2 tasks.
+        assert_eq!(fsr.records[1].tasks_affected, 2);
+        // Rank 1's 4 tasks all precede the loss.
+        assert_eq!(fsr.records[2].tasks_affected, 4);
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_slowdown_factor() {
+        let g = two_rank_graph(6);
+        let mut prev = SimTime::ZERO;
+        for factor in [1.0, 1.25, 2.0, 3.0, 5.0] {
+            let script = FaultScript {
+                events: vec![FaultEvent::Slowdown {
+                    rank: 0,
+                    factor,
+                    start_step: 0,
+                    end_step: 6,
+                }],
+            };
+            let fsr = simulate_faulted(&g, &script).unwrap();
+            assert!(fsr.run.makespan >= prev, "factor {factor}");
+            prev = fsr.run.makespan;
+        }
+    }
+
+    #[test]
+    fn change_steps_are_sorted_and_deduplicated() {
+        let script = FaultScript {
+            events: vec![
+                FaultEvent::Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 4,
+                    end_step: 8,
+                },
+                FaultEvent::HostLoss {
+                    rank: 1,
+                    at_step: 4,
+                },
+                FaultEvent::LoaderSlowdown {
+                    factor: 1.5,
+                    start_step: 2,
+                    end_step: 8,
+                },
+            ],
+        };
+        assert_eq!(script.change_steps(), vec![2, 4, 8]);
+        assert_eq!(script.settled_step(), 8);
+        assert_eq!(FaultScript::healthy().settled_step(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_events() {
+        let cases = [
+            FaultEvent::Slowdown {
+                rank: 9,
+                factor: 2.0,
+                start_step: 0,
+                end_step: 1,
+            },
+            FaultEvent::Slowdown {
+                rank: 0,
+                factor: 0.5,
+                start_step: 0,
+                end_step: 1,
+            },
+            FaultEvent::Slowdown {
+                rank: 0,
+                factor: 2.0,
+                start_step: 3,
+                end_step: 3,
+            },
+            FaultEvent::LoaderSlowdown {
+                factor: f64::NAN,
+                start_step: 0,
+                end_step: 1,
+            },
+            FaultEvent::HostLoss {
+                rank: 2,
+                at_step: 0,
+            },
+        ];
+        for event in cases {
+            let script = FaultScript {
+                events: vec![event.clone()],
+            };
+            assert!(
+                matches!(script.validate(2), Err(FaultViolation::InvalidScript(_))),
+                "{event:?} should be rejected"
+            );
+        }
+        assert!(FaultScript::healthy().validate(2).is_ok());
+    }
+
+    #[test]
+    fn scripts_roundtrip_through_serde() {
+        let script = FaultScript {
+            events: vec![
+                FaultEvent::Slowdown {
+                    rank: 1,
+                    factor: 2.5,
+                    start_step: 3,
+                    end_step: 9,
+                },
+                FaultEvent::HostJoin {
+                    rank: 3,
+                    at_step: 5,
+                },
+            ],
+        };
+        let json = pipebd_json::to_string(&script).expect("serialize");
+        let back: FaultScript = pipebd_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, script);
+    }
+}

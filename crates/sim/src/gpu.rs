@@ -59,6 +59,37 @@ impl GpuModel {
         }
     }
 
+    /// A uniformly degraded copy of this GPU: every kernel runs exactly
+    /// `factor`× slower.
+    ///
+    /// Throughputs (`peak_flops`, `mem_bw`) divide by the factor and the
+    /// launch overhead multiplies by it, while the occupancy curve
+    /// (`occ_half`) is untouched — so [`GpuModel::exec_time`] scales by
+    /// exactly `factor` for every workload, matching how the fault plane's
+    /// `simulate_faulted` scales already-lowered task durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and `>= 1.0`.
+    pub fn slowed(&self, factor: f64) -> GpuModel {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "slowdown factor {factor} must be finite and >= 1"
+        );
+        GpuModel {
+            name: if factor == 1.0 {
+                self.name.clone()
+            } else {
+                format!("{} ({factor}x slow)", self.name)
+            },
+            peak_flops: self.peak_flops / factor,
+            mem_bw: self.mem_bw / factor,
+            launch_overhead: SimTime::from_secs_f64(self.launch_overhead.as_secs_f64() * factor),
+            occ_half: self.occ_half,
+            mem_capacity: self.mem_capacity,
+        }
+    }
+
     /// Occupancy efficiency in `(0, 1)` for a given amount of parallel work
     /// (`parallelism` = mean live elements per sample).
     pub fn efficiency(&self, batch: usize, parallelism: u64) -> f64 {
@@ -141,6 +172,33 @@ mod tests {
         let eff_a = a.efficiency(late_block.0, late_block.1);
         let eff_t = t.efficiency(late_block.0, late_block.1);
         assert!(eff_t > eff_a);
+    }
+
+    #[test]
+    fn slowed_scales_exec_time_exactly() {
+        let g = GpuModel::a6000();
+        for factor in [1.0, 1.5, 2.0, 4.0] {
+            let s = g.slowed(factor);
+            for (macs, bytes, par, batch, kernels) in [
+                (64_000_000u64, 2_000_000u64, 196u64, 64usize, 3u32),
+                (1_000u64, 768_000_000u64, 10_000u64, 256usize, 1u32),
+            ] {
+                let healthy = g.exec_time(macs, bytes, par, batch, kernels).as_secs_f64();
+                let slow = s.exec_time(macs, bytes, par, batch, kernels).as_secs_f64();
+                assert!(
+                    (slow - factor * healthy).abs() <= 2e-9,
+                    "factor {factor}: {slow} vs {}",
+                    factor * healthy
+                );
+            }
+        }
+        assert_eq!(g.slowed(1.0), g, "unit factor is the identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and >= 1")]
+    fn slowed_rejects_speedups() {
+        GpuModel::a6000().slowed(0.5);
     }
 
     #[test]

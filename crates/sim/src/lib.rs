@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fault;
 mod gpu;
 mod hardware;
 mod host;
@@ -41,6 +42,9 @@ mod time;
 mod trace;
 
 pub use engine::{busy_per_gpu, simulate, SimRun};
+pub use fault::{
+    simulate_faulted, FaultEvent, FaultRecord, FaultScript, FaultSimRun, FaultViolation,
+};
 pub use gpu::GpuModel;
 pub use hardware::HardwareConfig;
 pub use host::HostModel;

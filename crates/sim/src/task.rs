@@ -49,6 +49,10 @@ pub enum TaskKind {
     GradShare,
     /// Zero-duration synchronization marker.
     Sync,
+    /// Online replanning overhead after a fault event: re-running the AHD
+    /// search and redistributing parameters/optimizer state before the
+    /// next segment's schedule starts.
+    Replan,
 }
 
 /// One node of the simulated execution DAG.

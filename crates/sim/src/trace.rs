@@ -25,6 +25,9 @@ pub struct RankBreakdown {
     pub update: SimTime,
     /// Gradient all-reduce time on the compute stream.
     pub grad_share: SimTime,
+    /// Online replanning overhead after fault events (fault plane only;
+    /// zero for healthy runs).
+    pub replan: SimTime,
     /// Remaining idle time (relay waits, barrier waits).
     pub idle: SimTime,
 }
@@ -44,7 +47,7 @@ impl RankBreakdown {
 
     /// Busy + idle total (= makespan for every rank).
     pub fn total(&self) -> SimTime {
-        self.data_loading() + self.teacher + self.student_total() + self.idle
+        self.data_loading() + self.teacher + self.student_total() + self.replan + self.idle
     }
 }
 
@@ -72,6 +75,7 @@ impl Breakdown {
                 TaskKind::Student => rb.student += t.duration,
                 TaskKind::Update => rb.update += t.duration,
                 TaskKind::GradShare => rb.grad_share += t.duration,
+                TaskKind::Replan => rb.replan += t.duration,
                 TaskKind::Comm | TaskKind::Sync => {}
             }
             let (stall, kind) = run.stall[id.index()];
@@ -84,8 +88,7 @@ impl Breakdown {
         }
         // Pad trailing idle so every rank's total equals the makespan.
         for rb in &mut ranks {
-            let accounted = rb.data_loading() + rb.teacher + rb.student_total() + rb.idle;
-            rb.idle += run.makespan.saturating_sub(accounted);
+            rb.idle += run.makespan.saturating_sub(rb.total());
         }
         Breakdown {
             ranks,
@@ -107,7 +110,8 @@ impl Breakdown {
 /// the schedule illustrations of the paper's Fig. 5b/5c.
 ///
 /// Symbols: digits = teacher block, letters `a..` = student block,
-/// `L` = load, `U` = update, `g` = gradient sharing, `·` = idle.
+/// `L` = load, `U` = update, `g` = gradient sharing, `R` = replanning
+/// overhead, `·` = idle.
 pub fn render_gantt(graph: &TaskGraph, run: &SimRun, columns: usize) -> String {
     let columns = columns.max(10);
     let span = run.makespan.as_ns().max(1);
@@ -135,6 +139,7 @@ pub fn render_gantt(graph: &TaskGraph, run: &SimRun, columns: usize) -> String {
                 .unwrap_or('s'),
             TaskKind::Update => 'U',
             TaskKind::GradShare => 'g',
+            TaskKind::Replan => 'R',
             TaskKind::Comm => '>',
             TaskKind::Sync => '|',
         };

@@ -9,20 +9,28 @@
 //! persistable artifact — the regression gate's auditable record.
 
 use pipebd_core::exec::{reference, threaded, FuncConfig, FuncOutcome};
+use pipebd_core::lower::fault::lower_faulted;
 use pipebd_core::lower::{lower, relay, Lowering};
 use pipebd_core::{ExecutorChoice, Strategy};
 use pipebd_data::SyntheticImageDataset;
 use pipebd_models::{mini_student_dsconv, mini_student_supernet, mini_teacher, MiniConfig};
+use pipebd_sched::replan::degraded_estimate;
 use pipebd_sched::{
     barrier_period, bottleneck_stage, dp_phase_period, estimate_period, ls, ls_round_period,
-    CostModel, Profiler, StagePlan,
+    CostModel, DegradedServer, Profiler, StagePlan,
 };
-use pipebd_sim::{busy_per_gpu, simulate, SimTime, TaskGraph};
+use pipebd_sim::{busy_per_gpu, simulate, simulate_faulted, SimRun, SimTime, TaskGraph};
 use pipebd_tensor::Rng64;
 use serde::{Deserialize, Serialize};
 
-use crate::{ConformanceStrategy, Scenario, ToleranceBook};
+use crate::{ConformanceStrategy, FaultCase, Scenario, ToleranceBook};
 use pipebd_artifact::ArtifactPayload;
+
+/// Rounds the fault differential lowers (long enough that the last fault
+/// variant settles well before the tail window).
+pub const FAULT_ROUNDS: u32 = 24;
+/// Tail rounds the fault differential averages for its steady period.
+pub const FAULT_TAIL: u32 = 6;
 
 /// What one scenario measured, with the budgets it was judged against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,6 +59,15 @@ pub struct ScenarioOutcome {
     /// Whether the simulator's busiest rank sat in the estimator's
     /// predicted bottleneck stage (`true` when unchecked).
     pub bottleneck_ok: bool,
+    /// Fault class label for fault scenarios, empty otherwise.
+    pub fault_class: String,
+    /// Whether online replanning was enabled (fault scenarios only).
+    pub replan: bool,
+    /// Total replanning overhead charged by the spliced lowering, in ns.
+    pub replan_overhead_ns: u64,
+    /// Plan segments the fault lowering spliced (`0` for non-fault
+    /// scenarios, `1` when no splice happened).
+    pub fault_segments: usize,
     /// Overall verdict.
     pub pass: bool,
     /// Failure detail, empty on pass.
@@ -70,7 +87,9 @@ pub struct ConformanceReport {
 
 impl ArtifactPayload for ConformanceReport {
     const SCHEMA: &'static str = "pipebd.conformance_report";
-    const VERSION: u32 = 1;
+    // V2: outcomes carry the fault fields (class, replan, overhead,
+    // segment count).
+    const VERSION: u32 = 2;
 }
 
 /// Steady-state period of a simulated task graph: the spread of the last
@@ -82,8 +101,18 @@ impl ArtifactPayload for ConformanceReport {
 ///
 /// Panics if `tail >= steps`.
 pub fn simulated_round_period(graph: &TaskGraph, steps: u32, tail: u32) -> SimTime {
+    round_period_of(graph, &simulate(graph), steps, tail)
+}
+
+/// [`simulated_round_period`] over an already-simulated run (the fault
+/// differential simulates through `simulate_faulted`, which owns the
+/// perturbed graph).
+///
+/// # Panics
+///
+/// Panics if `tail >= steps`.
+pub fn round_period_of(graph: &TaskGraph, run: &SimRun, steps: u32, tail: u32) -> SimTime {
     assert!(tail < steps, "tail window must leave a base step");
-    let run = simulate(graph);
     let mut end = vec![SimTime::ZERO; steps as usize];
     for (id, task) in graph.iter() {
         let f = run.finish[id.index()];
@@ -103,7 +132,7 @@ fn exec_differential(s: &Scenario) -> Result<(f64, f64), String> {
     let cfg = MiniConfig {
         blocks: s.blocks,
         channels: 6,
-        batch_norm: false,
+        batch_norm: s.batch_norm,
     };
     let mut rng = Rng64::seed_from_u64(s.seed);
     let teacher = mini_teacher(cfg, &mut rng);
@@ -190,6 +219,48 @@ fn sim_differential(s: &Scenario, book: &ToleranceBook) -> Result<(f64, bool, bo
     }
 }
 
+/// What the fault differential measured for one scenario.
+struct FaultMeasurement {
+    /// Simulated tail period / degraded analytic period.
+    ratio: f64,
+    /// Total replanning overhead the spliced lowering charged.
+    overhead_ns: u64,
+    /// Plan segments the lowering emitted.
+    segments: usize,
+}
+
+/// The fault differential: lower the incumbent under the scenario's fault
+/// script (replanning at cluster changes when enabled), degrade and
+/// simulate the result, and compare the steady-state tail period against
+/// the degraded-hardware analytic estimate of the plan in force at the
+/// end of the schedule.
+fn fault_differential(s: &Scenario, fault: &FaultCase) -> Result<FaultMeasurement, String> {
+    let w = s.workload();
+    let hw = s.hardware();
+    let (plan, dpu) = s
+        .sim_plan()?
+        .ok_or_else(|| "fault scenarios need a stage-plan incumbent".to_string())?;
+    if !dpu {
+        return Err("fault scenarios require a DPU incumbent (the splice is DPU-only)".into());
+    }
+    let l = Lowering::new(&w, &hw, s.sim_batch, FAULT_ROUNDS);
+    let lowered = lower_faulted(&l, &plan, &fault.script, fault.replan)
+        .map_err(|e| format!("fault lowering: {e}"))?;
+    let sim = simulate_faulted(&lowered.graph, &fault.script)
+        .map_err(|e| format!("degraded simulation: {e}"))?;
+    let simulated = round_period_of(&lowered.graph, &sim.run, FAULT_ROUNDS, FAULT_TAIL);
+    // Every script settles before the tail window, so the cluster state at
+    // the last round is the steady state the final segment planned for.
+    let server = DegradedServer::at_step(&hw, &fault.script, FAULT_ROUNDS - 1)
+        .map_err(|e| format!("degraded snapshot: {e}"))?;
+    let analytic = degraded_estimate(&lowered.final_segment().plan, &server, &w, s.sim_batch);
+    Ok(FaultMeasurement {
+        ratio: ratio(simulated, analytic),
+        overhead_ns: lowered.total_overhead.as_ns(),
+        segments: lowered.segments.len(),
+    })
+}
+
 fn ratio(simulated: SimTime, analytic: SimTime) -> f64 {
     let a = analytic.as_secs_f64();
     if a <= 0.0 {
@@ -236,7 +307,10 @@ fn bottleneck_agreement(
 /// filter scenarios to the ambient policy so parallel tests never touch
 /// global state.
 pub fn run_scenario(s: &Scenario, book: &ToleranceBook) -> ScenarioOutcome {
-    let budget = book.sim_budget(s.strategy);
+    let budget = match &s.fault {
+        Some(f) => book.fault_budget(f.class),
+        None => book.sim_budget(s.strategy),
+    };
     let mut outcome = ScenarioOutcome {
         id: s.id.clone(),
         max_param_diff: f64::NAN,
@@ -249,10 +323,50 @@ pub fn run_scenario(s: &Scenario, book: &ToleranceBook) -> ScenarioOutcome {
         sim_ok: false,
         bottleneck_checked: false,
         bottleneck_ok: false,
+        fault_class: s
+            .fault
+            .as_ref()
+            .map(|f| f.class.label().to_string())
+            .unwrap_or_default(),
+        replan: s.fault.as_ref().is_some_and(|f| f.replan),
+        replan_overhead_ns: 0,
+        fault_segments: 0,
         pass: false,
         detail: String::new(),
     };
     let mut failures: Vec<String> = Vec::new();
+
+    if let Some(fault) = &s.fault {
+        // Fault scenarios are timing-plane only: faults change *when*
+        // things run, never what is computed, and the healthy matrix
+        // already pins the functional side of every incumbent.
+        outcome.max_param_diff = 0.0;
+        outcome.max_loss_diff = 0.0;
+        outcome.exec_tolerance = 0.0;
+        outcome.exec_ok = true;
+        outcome.bottleneck_ok = true;
+        match fault_differential(s, fault) {
+            Ok(m) => {
+                outcome.sim_ratio = m.ratio;
+                outcome.sim_ok = budget.contains(m.ratio);
+                outcome.replan_overhead_ns = m.overhead_ns;
+                outcome.fault_segments = m.segments;
+                if !outcome.sim_ok {
+                    failures.push(format!(
+                        "degraded sim/estimate ratio {:.3} outside [{:.2}, {:.2}] ({} budget)",
+                        m.ratio,
+                        budget.lo,
+                        budget.hi,
+                        fault.class.label()
+                    ));
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+        outcome.pass = failures.is_empty();
+        outcome.detail = failures.join("; ");
+        return outcome;
+    }
 
     match s.exec_tolerance() {
         Ok(tol) => {

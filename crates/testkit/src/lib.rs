@@ -27,7 +27,15 @@
 //!   schedule) lowered into the event simulator, its steady-state period
 //!   checked against the analytic prediction within a per-strategy
 //!   relative-error budget ([`ToleranceBook`]), plus a bottleneck-stage
-//!   agreement check when the estimator's margin is decisive.
+//!   agreement check when the estimator's margin is decisive;
+//! * **Fault differential** — scenarios carrying a [`FaultCase`] lower
+//!   the plan under a deterministic fault script (host slowdowns, loss,
+//!   join, loader slowdown), optionally splicing in an online AHD replan,
+//!   simulate the degraded cluster, and check the settled tail period
+//!   against `pipebd_sched`'s degraded estimate under per-fault-class
+//!   budgets. Faults change *when* work runs, never *what* is computed,
+//!   so the executor differential is pinned by the healthy matrix and
+//!   skipped here.
 //!
 //! Scenarios ([`Scenario`]) and outcomes ([`ConformanceReport`]) are
 //! serializable artifacts, persisted through `pipebd_artifact` by the
@@ -43,6 +51,11 @@ mod differential;
 mod scenario;
 mod tolerance;
 
-pub use differential::{run_scenario, simulated_round_period, ConformanceReport, ScenarioOutcome};
-pub use scenario::{enumerate, ConformanceStrategy, Scenario, ScenarioSet, SimWorkload};
+pub use differential::{
+    round_period_of, run_scenario, simulated_round_period, ConformanceReport, ScenarioOutcome,
+    FAULT_ROUNDS, FAULT_TAIL,
+};
+pub use scenario::{
+    enumerate, ConformanceStrategy, FaultCase, FaultClass, Scenario, ScenarioSet, SimWorkload,
+};
 pub use tolerance::{RatioBudget, ToleranceBook};

@@ -29,7 +29,7 @@
 use pipebd_core::ExecutorChoice;
 use pipebd_models::Workload;
 use pipebd_sched::{ahd, CostModel, HeteroServer, Profiler, StagePlan};
-use pipebd_sim::{GpuModel, HardwareConfig};
+use pipebd_sim::{FaultEvent, FaultScript, GpuModel, HardwareConfig};
 use pipebd_tensor::KernelPolicy;
 use serde::{Deserialize, Serialize};
 
@@ -126,6 +126,54 @@ impl SimWorkload {
     }
 }
 
+/// The class of a fault scenario's script — each class gets its own ratio
+/// budget in the [`ToleranceBook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Host or loader-pool slowdowns only (membership preserved).
+    Slowdown,
+    /// One or more hosts drop out.
+    Loss,
+    /// A host joins mid-run (elastic scale-up).
+    Join,
+    /// Slowdown combined with a membership change.
+    Compound,
+}
+
+impl FaultClass {
+    /// Every class, in matrix order.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::Slowdown,
+        FaultClass::Loss,
+        FaultClass::Join,
+        FaultClass::Compound,
+    ];
+
+    /// Short label used in scenario ids and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::Slowdown => "slowdown",
+            FaultClass::Loss => "loss",
+            FaultClass::Join => "join",
+            FaultClass::Compound => "compound",
+        }
+    }
+}
+
+/// The fault axis of a scenario: a deterministic script plus whether the
+/// lowering replans at each cluster change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCase {
+    /// The fault class (selects the tolerance budget).
+    pub class: FaultClass,
+    /// Whether online replanning is enabled (`false` is only valid for
+    /// membership-preserving scripts — a static schedule cannot place
+    /// work on a missing rank).
+    pub replan: bool,
+    /// The injected event list.
+    pub script: FaultScript,
+}
+
 /// One point of the conformance matrix: everything needed to replay both
 /// differential checks, serializable so sweeps leave an auditable record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -163,6 +211,14 @@ pub struct Scenario {
     /// Kernel policy label (`"naive"` or `"blocked"`); see
     /// [`Scenario::kernel_policy`].
     pub kernel_policy: String,
+    /// Whether the executor differential's miniature models use batch
+    /// norm (widened plans then assert the shard-statistics budget).
+    pub batch_norm: bool,
+    /// The fault axis: `Some` makes this a fault-injection scenario —
+    /// the simulator/estimator direction runs the degraded differential
+    /// and the executor direction is skipped (faults do not change *what*
+    /// is computed, only *when*; the healthy matrix pins the former).
+    pub fault: Option<FaultCase>,
 }
 
 /// FNV-1a over a string — the id→seed derivation (no ambient state).
@@ -295,7 +351,10 @@ impl Scenario {
     /// Same conditions as [`Scenario::sim_plan`].
     pub fn exec_tolerance(&self) -> Result<f32, String> {
         let (plan, _) = self.exec_plan()?;
-        Ok(ToleranceBook::exec_tolerance(plan.uses_batch_split()))
+        Ok(ToleranceBook::exec_tolerance(
+            plan.uses_batch_split(),
+            self.batch_norm,
+        ))
     }
 }
 
@@ -310,7 +369,8 @@ pub struct ScenarioSet {
 
 impl ArtifactPayload for ScenarioSet {
     const SCHEMA: &'static str = "pipebd.scenario_set";
-    const VERSION: u32 = 1;
+    // V2: scenarios carry the fault axis (`fault`) and `batch_norm`.
+    const VERSION: u32 = 2;
 }
 
 /// The model-shape axis: `(blocks, heavy_first, supernet_student)`.
@@ -334,6 +394,149 @@ fn needs_contiguous(strategy: ConformanceStrategy) -> bool {
     )
 }
 
+/// The fault-variant axis: deterministic scripts parameterized by the rank
+/// count. Each entry is `(tag, class, static_ok, script)` where
+/// `static_ok` marks membership-preserving scripts that also get a
+/// replanning-disabled twin (a static schedule cannot survive a loss or
+/// exploit a join). Every script settles by step 10, so the fault
+/// differential's tail window (rounds 18–23 of 24) measures one steady
+/// regime.
+fn fault_variants(ranks: usize) -> Vec<(&'static str, FaultClass, bool, FaultScript)> {
+    use FaultEvent::{HostJoin, HostLoss, LoaderSlowdown, Slowdown};
+    let last = ranks - 1;
+    let script = |events: Vec<FaultEvent>| FaultScript { events };
+    let mut out = vec![
+        (
+            "slow15",
+            FaultClass::Slowdown,
+            true,
+            script(vec![Slowdown {
+                rank: 0,
+                factor: 1.5,
+                start_step: 4,
+                end_step: u32::MAX,
+            }]),
+        ),
+        (
+            "slow3",
+            FaultClass::Slowdown,
+            true,
+            script(vec![Slowdown {
+                rank: last,
+                factor: 3.0,
+                start_step: 2,
+                end_step: u32::MAX,
+            }]),
+        ),
+        (
+            "slowwin",
+            FaultClass::Slowdown,
+            true,
+            script(vec![Slowdown {
+                rank: 0,
+                factor: 4.0,
+                start_step: 3,
+                end_step: 9,
+            }]),
+        ),
+        (
+            "slowall",
+            FaultClass::Slowdown,
+            true,
+            script(
+                (0..ranks)
+                    .map(|r| Slowdown {
+                        rank: r,
+                        factor: 2.0,
+                        start_step: 2,
+                        end_step: u32::MAX,
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "loader2",
+            FaultClass::Slowdown,
+            true,
+            script(vec![LoaderSlowdown {
+                factor: 2.0,
+                start_step: 3,
+                end_step: u32::MAX,
+            }]),
+        ),
+        (
+            "lose1",
+            FaultClass::Loss,
+            false,
+            script(vec![HostLoss {
+                rank: 1,
+                at_step: 5,
+            }]),
+        ),
+        (
+            "join1",
+            FaultClass::Join,
+            false,
+            script(vec![HostJoin {
+                rank: last,
+                at_step: 6,
+            }]),
+        ),
+        (
+            "mix",
+            FaultClass::Compound,
+            false,
+            script(vec![
+                Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 2,
+                    end_step: u32::MAX,
+                },
+                HostLoss {
+                    rank: 1,
+                    at_step: 6,
+                },
+            ]),
+        ),
+        (
+            "grow",
+            FaultClass::Compound,
+            false,
+            script(vec![
+                HostJoin {
+                    rank: last,
+                    at_step: 4,
+                },
+                Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 6,
+                    end_step: u32::MAX,
+                },
+            ]),
+        ),
+    ];
+    if ranks >= 3 {
+        out.push((
+            "lose2",
+            FaultClass::Loss,
+            false,
+            script(vec![
+                HostLoss {
+                    rank: 0,
+                    at_step: 4,
+                },
+                HostLoss {
+                    rank: last,
+                    at_step: 8,
+                },
+            ]),
+        ));
+    }
+    out
+}
+
 /// Enumerates the full conformance matrix, deterministically.
 ///
 /// Two slices:
@@ -349,7 +552,8 @@ fn needs_contiguous(strategy: ConformanceStrategy) -> bool {
 ///   matter.
 ///
 /// Skips only structurally impossible combinations (contiguous plans with
-/// fewer blocks than ranks; the hybrid shape on fewer than 3 ranks).
+/// fewer blocks than ranks; the hybrid shape on fewer than 3 ranks; fault
+/// scripts that change membership under a replanning-disabled schedule).
 /// Subject-`Reference` scenarios (executor-determinism checks) are
 /// emitted for the TR+DPU strategy slice.
 pub fn enumerate() -> Vec<Scenario> {
@@ -389,6 +593,8 @@ pub fn enumerate() -> Vec<Scenario> {
                             strategy,
                             subject,
                             kernel_policy: policy.to_string(),
+                            batch_norm: false,
+                            fault: None,
                         });
                     }
                 }
@@ -421,7 +627,100 @@ pub fn enumerate() -> Vec<Scenario> {
                     strategy,
                     subject: ExecutorChoice::Threaded,
                     kernel_policy: "blocked".to_string(),
+                    batch_norm: false,
+                    fault: None,
                 });
+            }
+        }
+    }
+    // The batch-norm slice: the synthetic shapes again, batch-norm models,
+    // one kernel policy and subject (BN only changes the executor
+    // direction's numerics; the plain slice already sweeps the rest).
+    for (blocks, heavy_first, supernet) in SHAPES {
+        for (ranks, exec_batch) in RANKS {
+            for strategy in ConformanceStrategy::ALL {
+                if needs_contiguous(strategy) && blocks < ranks {
+                    continue;
+                }
+                if strategy == ConformanceStrategy::Hybrid && ranks < 3 {
+                    continue;
+                }
+                let id = format!(
+                    "syn{blocks}{}-r{ranks}-{strategy}-bn",
+                    if heavy_first { "h" } else { "u" },
+                );
+                out.push(Scenario {
+                    seed: fnv1a(&id),
+                    id,
+                    blocks,
+                    heavy_first,
+                    sim_workload: SimWorkload::Synthetic,
+                    supernet,
+                    ranks,
+                    sim_batch: 256,
+                    exec_batch,
+                    exec_steps: 3,
+                    strategy,
+                    subject: ExecutorChoice::Threaded,
+                    kernel_policy: "blocked".to_string(),
+                    batch_norm: true,
+                    fault: None,
+                });
+            }
+        }
+    }
+    // The fault slice: workload × ranks × incumbent strategy × fault
+    // variant × replan policy. DPU-family incumbents only (the splice is
+    // DPU-only; see `pipebd_core::lower::fault`); membership-changing
+    // scripts only with replanning on.
+    const FAULT_STRATEGIES: [ConformanceStrategy; 3] = [
+        ConformanceStrategy::TrDpu,
+        ConformanceStrategy::Hybrid,
+        ConformanceStrategy::Ahd,
+    ];
+    for sim_workload in [
+        SimWorkload::Synthetic,
+        SimWorkload::NasCifar10,
+        SimWorkload::CompressionCifar10,
+    ] {
+        for (ranks, exec_batch) in RANKS {
+            for strategy in FAULT_STRATEGIES {
+                if strategy == ConformanceStrategy::Hybrid && ranks < 3 {
+                    continue;
+                }
+                for (tag, class, static_ok, script) in fault_variants(ranks) {
+                    for replan in [true, false] {
+                        if !replan && !static_ok {
+                            continue;
+                        }
+                        let id = format!(
+                            "fault-{}-r{ranks}-{strategy}-{tag}-{}",
+                            sim_workload.tag(),
+                            if replan { "replan" } else { "static" },
+                        );
+                        out.push(Scenario {
+                            seed: fnv1a(&id),
+                            id,
+                            blocks: 6,
+                            heavy_first: false,
+                            sim_workload,
+                            supernet: false,
+                            ranks,
+                            sim_batch: 256,
+                            exec_batch,
+                            exec_steps: 3,
+                            strategy,
+                            subject: ExecutorChoice::Threaded,
+                            kernel_policy: "blocked".to_string(),
+                            batch_norm: false,
+                            fault: Some(FaultCase {
+                                class,
+                                replan,
+                                script: script.clone(),
+                            }),
+                        });
+                    }
+                }
             }
         }
     }
@@ -437,7 +736,7 @@ mod tests {
         let a = enumerate();
         let b = enumerate();
         assert_eq!(a, b);
-        assert!(a.len() >= 60, "only {} scenarios", a.len());
+        assert!(a.len() >= 400, "only {} scenarios", a.len());
     }
 
     #[test]
@@ -484,6 +783,42 @@ mod tests {
         assert!(all.iter().any(|s| s.supernet));
         assert!(all.iter().any(|s| s.heavy_first));
         assert!(all.iter().any(|s| s.ranks == 2) && all.iter().any(|s| s.ranks == 4));
+        assert!(all.iter().any(|s| s.batch_norm), "batch-norm slice missing");
+        for class in FaultClass::ALL {
+            for replan in [true, false] {
+                let valid = replan || class == FaultClass::Slowdown;
+                let present = all.iter().any(|s| {
+                    s.fault
+                        .as_ref()
+                        .is_some_and(|f| f.class == class && f.replan == replan)
+                });
+                assert_eq!(
+                    present, valid,
+                    "fault axis {class:?} replan={replan}: present={present}, valid={valid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_scripts_are_valid_and_settle_before_the_tail() {
+        for s in enumerate() {
+            let Some(fault) = &s.fault else { continue };
+            fault
+                .script
+                .validate(s.ranks)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.id));
+            assert!(!fault.script.is_healthy(), "{}: empty fault script", s.id);
+            // Every finite change step sits before the measurement tail
+            // (infinite window ends never fire inside the schedule).
+            for step in fault.script.change_steps() {
+                assert!(
+                    step == u32::MAX || step <= 10,
+                    "{}: change step {step} lands inside the tail window",
+                    s.id
+                );
+            }
+        }
     }
 
     #[test]

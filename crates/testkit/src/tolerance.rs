@@ -5,7 +5,7 @@
 //! the budget it was judged against, so a tolerance change is visible in
 //! the persisted `ConformanceReport`, not buried in test code.
 
-use crate::ConformanceStrategy;
+use crate::{ConformanceStrategy, FaultClass};
 
 /// An inclusive relative-error window for `simulated / analytic` ratios.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +39,19 @@ pub struct ToleranceBook {
     pub dp: RatioBudget,
     /// Budget for the LS baseline's round period.
     pub ls: RatioBudget,
+    /// Budget for fault scenarios that only stretch durations (host or
+    /// loader slowdowns): the degraded estimate scales the same chains the
+    /// simulator scales, so it stays nearly as tight as `dpu_family`.
+    pub fault_slowdown: RatioBudget,
+    /// Budget for host-loss scenarios: the replanned pipeline refills
+    /// behind the splice barrier, so the tail window carries a little
+    /// residual transient.
+    pub fault_loss: RatioBudget,
+    /// Budget for elastic host-join scenarios (same refill effect as a
+    /// loss, plus the widened loader fan-out).
+    pub fault_join: RatioBudget,
+    /// Budget for compound scripts (slowdown + membership change).
+    pub fault_compound: RatioBudget,
     /// Minimum estimator margin (heaviest / second-heaviest stage time)
     /// before the bottleneck-agreement check is asserted; near ties
     /// legitimately resolve either way at event level.
@@ -59,6 +72,10 @@ impl ToleranceBook {
             barrier: RatioBudget { lo: 0.90, hi: 1.25 },
             dp: RatioBudget { lo: 0.90, hi: 1.15 },
             ls: RatioBudget { lo: 0.90, hi: 1.15 },
+            fault_slowdown: RatioBudget { lo: 0.90, hi: 1.18 },
+            fault_loss: RatioBudget { lo: 0.90, hi: 1.20 },
+            fault_join: RatioBudget { lo: 0.90, hi: 1.20 },
+            fault_compound: RatioBudget { lo: 0.90, hi: 1.20 },
             bottleneck_margin: 1.10,
         }
     }
@@ -73,15 +90,35 @@ impl ToleranceBook {
         }
     }
 
-    /// The executor-differential tolerance: bitwise for width-1 plans,
-    /// the float-reassociation bound when shard gradients are averaged.
-    pub fn exec_tolerance(plan_uses_batch_split: bool) -> f32 {
-        if plan_uses_batch_split {
-            1e-4
-        } else {
-            0.0
+    /// The tail-period-vs-degraded-estimate budget for a fault class.
+    pub fn fault_budget(&self, class: FaultClass) -> RatioBudget {
+        match class {
+            FaultClass::Slowdown => self.fault_slowdown,
+            FaultClass::Loss => self.fault_loss,
+            FaultClass::Join => self.fault_join,
+            FaultClass::Compound => self.fault_compound,
         }
     }
+
+    /// The executor-differential tolerance: bitwise for width-1 plans,
+    /// the float-reassociation bound when shard gradients are averaged,
+    /// and a wider bound when batch norm meets batch splitting — the
+    /// per-shard normalization statistics are a *different function* of
+    /// the batch than full-batch statistics, so shard outputs drift
+    /// beyond pure float reassociation before the gradients are averaged.
+    pub fn exec_tolerance(plan_uses_batch_split: bool, batch_norm: bool) -> f32 {
+        match (plan_uses_batch_split, batch_norm) {
+            (false, _) => 0.0,
+            (true, false) => 1e-4,
+            (true, true) => Self::BN_SHARD_EXEC,
+        }
+    }
+
+    /// The widened-plan batch-norm executor budget (see
+    /// [`ToleranceBook::exec_tolerance`]). Observed drift on the committed
+    /// matrix stays well below this; the entry exists so relaxing the old
+    /// `batch_norm: false` pin is a declared policy, not an accident.
+    pub const BN_SHARD_EXEC: f32 = 5e-2;
 }
 
 #[cfg(test)]
@@ -102,8 +139,27 @@ mod tests {
 
     #[test]
     fn exec_tolerance_is_bitwise_without_splitting() {
-        assert_eq!(ToleranceBook::exec_tolerance(false), 0.0);
-        assert!(ToleranceBook::exec_tolerance(true) > 0.0);
+        assert_eq!(ToleranceBook::exec_tolerance(false, false), 0.0);
+        assert_eq!(ToleranceBook::exec_tolerance(false, true), 0.0);
+        assert!(ToleranceBook::exec_tolerance(true, false) > 0.0);
+        assert!(
+            ToleranceBook::exec_tolerance(true, true) > ToleranceBook::exec_tolerance(true, false),
+            "shard batch-norm statistics need more room than reassociation"
+        );
+    }
+
+    #[test]
+    fn fault_budgets_bracket_unity_and_stay_ordered() {
+        let book = ToleranceBook::gate_default();
+        for class in FaultClass::ALL {
+            let b = book.fault_budget(class);
+            assert!(b.lo < 1.0 && 1.0 < b.hi, "{class:?} must bracket 1.0");
+        }
+        // Membership changes get at least the slowdown slack: they carry
+        // the same scaling error plus the splice transient.
+        assert!(book.fault_loss.hi >= book.fault_slowdown.hi);
+        assert!(book.fault_join.hi >= book.fault_slowdown.hi);
+        assert!(book.fault_compound.hi >= book.fault_slowdown.hi);
     }
 
     #[test]

@@ -38,9 +38,32 @@ fn assert_all_pass(scenarios: impl Iterator<Item = Scenario>) {
 
 #[test]
 fn sampled_matrix_conforms_under_ambient_policy() {
-    // Every 7th scenario: cheap enough for the debug-mode tier-1 run,
-    // still touching every strategy over the whole matrix ordering.
-    assert_all_pass(ambient_scenarios().into_iter().step_by(7));
+    // Every 25th scenario: cheap enough for the debug-mode tier-1 run,
+    // still touching every strategy — and the fault slice at the end of
+    // the ordering — over the whole matrix.
+    assert_all_pass(ambient_scenarios().into_iter().step_by(25));
+}
+
+#[test]
+fn one_fault_scenario_per_class_conforms() {
+    // The debug-mode fault smoke: the cheapest workload's fault slice,
+    // one replanned scenario per fault class, so tier-1 exercises the
+    // whole splice path even if sampling were to shift.
+    let mut picked = Vec::new();
+    for class in pipebd_testkit::FaultClass::ALL {
+        let s = ambient_scenarios()
+            .into_iter()
+            .find(|s| {
+                s.sim_workload == pipebd_testkit::SimWorkload::Synthetic
+                    && s.ranks == 4
+                    && s.fault
+                        .as_ref()
+                        .is_some_and(|f| f.class == class && f.replan)
+            })
+            .unwrap_or_else(|| panic!("no replanned {class:?} scenario at 4 ranks"));
+        picked.push(s);
+    }
+    assert_all_pass(picked.into_iter());
 }
 
 #[test]
@@ -88,7 +111,7 @@ fn scenario_artifacts_roundtrip_through_the_store() {
 fn matrix_meets_the_declared_floor() {
     let all = enumerate();
     assert!(
-        all.len() >= 60,
+        all.len() >= 400,
         "conformance matrix shrank to {} scenarios",
         all.len()
     );
@@ -97,4 +120,9 @@ fn matrix_meets_the_declared_floor() {
     let blocked = all.iter().filter(|s| s.kernel_policy == "blocked").count();
     assert!(naive >= 20, "naive leg covers only {naive} scenarios");
     assert!(blocked >= 20, "blocked leg covers only {blocked} scenarios");
+    // The fault and batch-norm slices must stay substantial.
+    let faults = all.iter().filter(|s| s.fault.is_some()).count();
+    assert!(faults >= 150, "fault slice shrank to {faults} scenarios");
+    let bn = all.iter().filter(|s| s.batch_norm).count();
+    assert!(bn >= 40, "batch-norm slice shrank to {bn} scenarios");
 }
