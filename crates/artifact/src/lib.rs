@@ -29,8 +29,9 @@ mod payload;
 mod store;
 
 pub use payload::{
-    machine_fingerprint, BenchDelta, BenchKernels, BenchRecord, BenchSuite, BenchTolerance,
-    BlockCost, CostProfile, KernelComparison, RunSet, SpeedupDelta,
+    machine_fingerprint, pooled_fingerprint, BenchDelta, BenchKernels, BenchRecord, BenchSuite,
+    BenchTolerance, BlockCost, CostProfile, KernelComparison, RunSet, ScalingCurve, ScalingDelta,
+    ScalingPoint, SpeedupDelta,
 };
 pub use store::{ArtifactError, ArtifactMeta, ArtifactStore};
 

@@ -139,22 +139,47 @@ pub struct KernelComparison {
     pub speedup: f64,
 }
 
+/// One measured point of a thread-scaling curve: the blocked path timed
+/// under an installed compute pool of `pool` lanes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Installed pool width (1 pins the serial path).
+    pub pool: usize,
+    /// Best-of-N mean time per call, nanoseconds.
+    pub mean_ns: u64,
+}
+
+/// The thread-scaling curve of one kernel: the same blocked call timed
+/// under pools of increasing width. On multi-core hosts the curve slopes
+/// down; on a 1-vCPU runner it is flat (the points record pool *overhead*,
+/// not speedup) — either shape is a baseline worth holding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScalingCurve {
+    /// Kernel case name (matches a [`KernelComparison::kernel`]).
+    pub kernel: String,
+    /// Measured points, ascending by pool width.
+    pub points: Vec<ScalingPoint>,
+}
+
 /// The kernel-smoke baseline (`BENCH_kernels.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchKernels {
     /// Active process-global kernel policy when the gate ran.
     pub kernel_policy: String,
-    /// Machine fingerprint of the run (see [`machine_fingerprint`]);
-    /// cross-machine comparisons are informational only.
+    /// Fingerprint of the run (see [`pooled_fingerprint`]); cross-machine
+    /// comparisons are informational only.
     pub fingerprint: String,
     /// All compared kernels.
     pub cases: Vec<KernelComparison>,
+    /// Thread-scaling curves for the pool-parallel kernels.
+    pub scaling: Vec<ScalingCurve>,
 }
 
 impl ArtifactPayload for BenchKernels {
     const SCHEMA: &'static str = "pipebd.bench_kernels";
     // v2: added `fingerprint` (the regression gate's escape hatch).
-    const VERSION: u32 = 2;
+    // v3: added `scaling`; the fingerprint now carries the pool budget.
+    const VERSION: u32 = 3;
 }
 
 /// Drift of one kernel's blocked-vs-naive speedup against a baseline run.
@@ -197,6 +222,66 @@ impl BenchKernels {
             })
             .collect()
     }
+
+    /// Compares thread-scaling curves point-by-point against a baseline
+    /// run: one [`ScalingDelta`] per `(kernel, pool)` pair present in
+    /// both. Scaling points are raw nanoseconds at a specific pool width,
+    /// so callers should only treat regressions as fatal when the
+    /// (pool-aware) fingerprints match — a different host or pool budget
+    /// legitimately reshapes the whole curve.
+    pub fn compare_scaling(
+        &self,
+        baseline: &BenchKernels,
+        tol: &BenchTolerance,
+    ) -> Vec<ScalingDelta> {
+        let mut deltas = Vec::new();
+        for curve in &self.scaling {
+            let Some(base_curve) = baseline.scaling.iter().find(|b| b.kernel == curve.kernel)
+            else {
+                continue;
+            };
+            for p in &curve.points {
+                let Some(b) = base_curve.points.iter().find(|b| b.pool == p.pool) else {
+                    continue;
+                };
+                let id = format!("scaling/{}/p{}", curve.kernel, p.pool);
+                let ratio = if b.mean_ns == 0 {
+                    f64::INFINITY
+                } else {
+                    p.mean_ns as f64 / b.mean_ns as f64
+                };
+                deltas.push(ScalingDelta {
+                    regressed: tol.regresses(&id, b.mean_ns, p.mean_ns),
+                    max_ratio: tol.max_ratio(&id),
+                    kernel: curve.kernel.clone(),
+                    pool: p.pool,
+                    baseline_ns: b.mean_ns,
+                    current_ns: p.mean_ns,
+                    ratio,
+                });
+            }
+        }
+        deltas
+    }
+}
+
+/// One scaling point's drift against a baseline curve, with its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingDelta {
+    /// Kernel case name.
+    pub kernel: String,
+    /// Pool width of the compared point.
+    pub pool: usize,
+    /// Baseline mean, nanoseconds.
+    pub baseline_ns: u64,
+    /// Current mean, nanoseconds.
+    pub current_ns: u64,
+    /// `current_ns / baseline_ns`.
+    pub ratio: f64,
+    /// Ratio limit that applied to this point.
+    pub max_ratio: f64,
+    /// Whether the slowdown exceeds the limit.
+    pub regressed: bool,
 }
 
 /// One timed benchmark from a criterion-shim run.
@@ -229,7 +314,9 @@ pub struct BenchSuite {
 impl ArtifactPayload for BenchSuite {
     const SCHEMA: &'static str = "pipebd.bench_suite";
     // v2: added `fingerprint` (the regression gate's escape hatch).
-    const VERSION: u32 = 2;
+    // v3: the fingerprint carries the pool budget, and the micro bench
+    //     records pool-swept executor ids (`…_p{1,2,4}`).
+    const VERSION: u32 = 3;
 }
 
 /// Per-metric slowdown tolerance for [`BenchSuite::compare_with`].
@@ -262,6 +349,19 @@ impl BenchTolerance {
             default_max_ratio: 1.6,
             overrides: vec![("exec/".into(), 2.2), ("relay/pipeline".into(), 2.2)],
             floor_ns: 100_000,
+        }
+    }
+
+    /// The regression gate's policy for thread-scaling curves: 2.0× per
+    /// point (a pool width whose time doubles lost its decomposition) with
+    /// a 30 µs floor — scaling points are best-of-N means of ~50–500 µs
+    /// kernels, steadier than end-to-end benches, so they can carry a
+    /// tighter floor than [`BenchTolerance::gate_default`].
+    pub fn scaling_default() -> Self {
+        BenchTolerance {
+            default_max_ratio: 2.0,
+            overrides: vec![],
+            floor_ns: 30_000,
         }
     }
 
@@ -376,6 +476,15 @@ pub fn machine_fingerprint() -> String {
     format!("{} x{cores}", std::env::consts::ARCH)
 }
 
+/// [`machine_fingerprint`] extended with the compute-pool budget the run
+/// was recorded under (`… pool<N>`). Thread-scaling baselines and pooled
+/// executor benches are only comparable when both the host *and* the pool
+/// budget match — a `PIPEBD_POOL` override changes the numbers without
+/// changing the machine — so v3 bench artifacts key on both.
+pub fn pooled_fingerprint(pool_budget: usize) -> String {
+    format!("{} pool{pool_budget}", machine_fingerprint())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,15 +562,71 @@ mod tests {
             kernel_policy: "blocked".into(),
             fingerprint: "m1".into(),
             cases: vec![case("conv", 10.0), case("matmul", 4.0)],
+            scaling: vec![],
         };
         let current = BenchKernels {
             kernel_policy: "blocked".into(),
             fingerprint: "m1".into(),
             cases: vec![case("conv", 8.0), case("matmul", 1.2)],
+            scaling: vec![],
         };
         let deltas = current.compare_speedups(&baseline, 0.5);
         assert!(!deltas[0].regressed, "8x retains >50% of 10x");
         assert!(deltas[1].regressed, "1.2x lost >50% of 4x");
+    }
+
+    fn kernels_with_curve(points: &[(usize, u64)]) -> BenchKernels {
+        BenchKernels {
+            kernel_policy: "blocked".into(),
+            fingerprint: "m1 pool4".into(),
+            cases: vec![],
+            scaling: vec![ScalingCurve {
+                kernel: "matmul_128".into(),
+                points: points
+                    .iter()
+                    .map(|&(pool, mean_ns)| ScalingPoint { pool, mean_ns })
+                    .collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn compare_scaling_flags_collapsed_points_only() {
+        let baseline = kernels_with_curve(&[(1, 200_000), (2, 120_000), (4, 80_000)]);
+        // Pool 4 collapsed back to the serial time (its decomposition is
+        // gone); pools 1–2 drift within budget.
+        let current = kernels_with_curve(&[(1, 210_000), (2, 150_000), (4, 200_000)]);
+        let deltas = current.compare_scaling(&baseline, &BenchTolerance::scaling_default());
+        assert_eq!(deltas.len(), 3);
+        assert!(!deltas[0].regressed, "1.05x at pool 1 is noise");
+        assert!(!deltas[1].regressed, "1.25x at pool 2 is within budget");
+        assert!(deltas[2].regressed, "2.5x at pool 4 lost the decomposition");
+        assert_eq!(deltas[2].pool, 4);
+    }
+
+    #[test]
+    fn compare_scaling_skips_unmatched_kernels_and_pools() {
+        let baseline = kernels_with_curve(&[(1, 200_000), (2, 120_000)]);
+        let mut current = kernels_with_curve(&[(1, 200_000), (8, 60_000)]);
+        current.scaling.push(ScalingCurve {
+            kernel: "only_current".into(),
+            points: vec![ScalingPoint {
+                pool: 1,
+                mean_ns: 1,
+            }],
+        });
+        let deltas = current.compare_scaling(&baseline, &BenchTolerance::scaling_default());
+        // Only (matmul_128, pool 1) overlaps.
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].pool, 1);
+    }
+
+    #[test]
+    fn pooled_fingerprint_appends_the_budget() {
+        let pooled = pooled_fingerprint(4);
+        assert_eq!(pooled, format!("{} pool4", machine_fingerprint()));
+        // Different budgets on the same host must not compare as equal.
+        assert_ne!(pooled, pooled_fingerprint(1));
     }
 
     #[test]

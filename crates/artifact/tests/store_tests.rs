@@ -133,12 +133,25 @@ fn bench_payloads_roundtrip_and_compare() {
     let store = scratch_store("bench");
     let kernels = BenchKernels {
         kernel_policy: "blocked".into(),
-        fingerprint: pipebd_artifact::machine_fingerprint(),
+        fingerprint: pipebd_artifact::pooled_fingerprint(4),
         cases: vec![KernelComparison {
             kernel: "conv2d_8x16x16".into(),
             naive_ns: 1000,
             blocked_ns: 125,
             speedup: 8.0,
+        }],
+        scaling: vec![pipebd_artifact::ScalingCurve {
+            kernel: "conv2d_8x16x16".into(),
+            points: vec![
+                pipebd_artifact::ScalingPoint {
+                    pool: 1,
+                    mean_ns: 125,
+                },
+                pipebd_artifact::ScalingPoint {
+                    pool: 4,
+                    mean_ns: 40,
+                },
+            ],
         }],
     };
     store.save("BENCH_kernels", &kernels).expect("save");

@@ -221,6 +221,29 @@ fn bench_exec(c: &mut Criterion) {
             black_box(threaded::run(&teacher, &student, &data, &func_wide).expect("hybrid runs"))
         })
     });
+
+    // The thread-scaling sweep: the same mini pipeline under explicit
+    // kernel-parallelism budgets. On a 1-vCPU runner the three ids tie
+    // (the pool handshake divides a budget of 1); on multi-core hosts the
+    // curve slopes down, and the regression gate holds it against the
+    // committed baseline when the pool-aware fingerprint matches.
+    for pool in [1usize, 2, 4] {
+        let func_pooled = FuncConfig {
+            devices: 4,
+            steps: 6,
+            batch: 16,
+            decoupled_updates: true,
+            pool_size: Some(pool),
+            ..FuncConfig::default()
+        };
+        c.bench_function(format!("exec/threaded_mini_4dev_6steps_p{pool}"), |bench| {
+            bench.iter(|| {
+                black_box(
+                    threaded::run(&teacher, &student, &data, &func_pooled).expect("pooled runs"),
+                )
+            })
+        });
+    }
 }
 
 fn main() {
@@ -247,7 +270,9 @@ fn main() {
         &pipebd_artifact::BenchSuite {
             suite: "micro".into(),
             kernel_policy: pipebd_tensor::kernel_policy().to_string(),
-            fingerprint: pipebd_artifact::machine_fingerprint(),
+            fingerprint: pipebd_artifact::pooled_fingerprint(
+                pipebd_tensor::parallel::default_pool_size(),
+            ),
             records,
         },
     );

@@ -12,11 +12,15 @@
 
 use std::time::Instant;
 
-use pipebd_artifact::{BenchKernels, KernelComparison};
+use pipebd_artifact::{BenchKernels, KernelComparison, ScalingCurve, ScalingPoint};
+use pipebd_tensor::parallel::{default_pool_size, install, ComputePool};
 use pipebd_tensor::{
     conv2d_grad_input_with, conv2d_grad_weight_with, conv2d_with, Conv2dSpec, KernelPolicy, Rng64,
     Tensor,
 };
+
+/// Pool widths the thread-scaling curves sample (1 = pinned serial).
+const SCALING_POOLS: [usize; 3] = [1, 2, 4];
 
 /// Best-of-N mean time per call, in seconds.
 fn time(mut f: impl FnMut(), calls: usize, rounds: usize) -> f64 {
@@ -98,14 +102,48 @@ fn main() {
         }
     }
 
+    // Thread-scaling curves: the blocked path timed under installed pools
+    // of 1/2/4 lanes. No pass/fail here — on a 1-vCPU runner the curve is
+    // legitimately flat (it records pool overhead, not speedup) — but the
+    // regression gate holds the curve against the committed baseline when
+    // the pool-aware fingerprint matches.
+    let scaling_cases: &[(&str, &dyn Fn())] = &[
+        ("matmul_128", &|| {
+            std::hint::black_box(a.matmul_with(&b, KernelPolicy::Blocked).expect("matmul"));
+        }),
+        ("conv2d_8x16x16", &|| {
+            std::hint::black_box(conv2d_with(&x, &w, spec, KernelPolicy::Blocked).expect("conv2d"));
+        }),
+    ];
+    let mut scaling = Vec::new();
+    for (name, run) in scaling_cases {
+        let mut points = Vec::new();
+        let mut line = format!("{name:<28} scaling ");
+        for &width in &SCALING_POOLS {
+            let pool = ComputePool::new(width);
+            let secs = install(&pool, || time(run, 5, 3));
+            line.push_str(&format!(" p{width} {:>8.1} us", secs * 1e6));
+            points.push(ScalingPoint {
+                pool: width,
+                mean_ns: (secs * 1e9) as u64,
+            });
+        }
+        println!("{line}");
+        scaling.push(ScalingCurve {
+            kernel: (*name).to_string(),
+            points,
+        });
+    }
+
     // The baseline is written even on regression, so a failing run still
     // leaves the measured numbers behind for diagnosis.
     pipebd_bench::persist(
         "BENCH_kernels",
         &BenchKernels {
             kernel_policy: pipebd_tensor::kernel_policy().to_string(),
-            fingerprint: pipebd_artifact::machine_fingerprint(),
+            fingerprint: pipebd_artifact::pooled_fingerprint(default_pool_size()),
             cases: comparisons,
+            scaling,
         },
     );
 

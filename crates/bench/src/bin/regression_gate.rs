@@ -14,13 +14,16 @@
 //!   the baseline's** — on foreign machines the nanosecond comparison is
 //!   reported but informational (the escape hatch; speedup *ratios* are
 //!   still enforced).
-//! * **`--self-test`** — prove both gate halves actually fire. Perf: an
+//! * **`--self-test`** — prove every gate half actually fires. Perf: an
 //!   injected fixture baseline makes the current run look 2× slower (same
 //!   fingerprint) and must fail the comparison, while the run compared
-//!   against itself must pass. Fault budgets: a replanned slowdown
-//!   scenario must pass the declared `ToleranceBook` and must *fail* once
-//!   its fault-class budget is sabotaged to an unsatisfiable window. Exit
-//!   0 iff every probe behaved correctly both ways.
+//!   against itself must pass. Thread-scaling: an injected kernel
+//!   baseline makes every scaling point look 8× slower and the curve
+//!   gate must flag it (and stay silent comparing curves to themselves).
+//!   Fault budgets: a replanned slowdown scenario must pass the declared
+//!   `ToleranceBook` and must *fail* once its fault-class budget is
+//!   sabotaged to an unsatisfiable window. Exit 0 iff every probe behaved
+//!   correctly both ways.
 //!
 //! Flags / environment:
 //!
@@ -35,7 +38,7 @@
 use std::path::{Path, PathBuf};
 
 use pipebd_artifact::{
-    machine_fingerprint, ArtifactError, ArtifactStore, BenchKernels, BenchSuite, BenchTolerance,
+    pooled_fingerprint, ArtifactError, ArtifactStore, BenchKernels, BenchSuite, BenchTolerance,
 };
 use pipebd_tensor::{kernel_policy, set_kernel_policy};
 use pipebd_testkit::{
@@ -154,7 +157,7 @@ fn perf_gate(
     require: bool,
 ) -> usize {
     let mut fatal = 0usize;
-    let fingerprint = machine_fingerprint();
+    let fingerprint = pooled_fingerprint(pipebd_tensor::parallel::default_pool_size());
     println!("machine fingerprint: {fingerprint}");
 
     match (
@@ -227,6 +230,40 @@ fn perf_gate(
                     d.current,
                 );
                 if d.regressed {
+                    fatal += 1;
+                }
+            }
+
+            // Thread-scaling curves: raw nanoseconds at specific pool
+            // widths, so only a matching pool-aware fingerprint makes
+            // regressions fatal (a different host or budget legitimately
+            // reshapes the curve).
+            let enforced = current.fingerprint == baseline.fingerprint;
+            println!(
+                "BENCH_kernels scaling: baseline fingerprint `{}` — curves {}",
+                baseline.fingerprint,
+                if enforced {
+                    "ENFORCED (same machine + pool budget)"
+                } else {
+                    "informational (different machine or pool budget)"
+                }
+            );
+            let scaling = current.compare_scaling(&baseline, &BenchTolerance::scaling_default());
+            if scaling.is_empty() {
+                println!("  (no overlapping scaling points)");
+            }
+            for d in scaling {
+                println!(
+                    "  {} {:<38} p{} base {:>10} ns  now {:>10} ns  ratio {:>6.2} (limit {:.2})",
+                    if d.regressed { "SLOW" } else { "ok  " },
+                    d.kernel,
+                    d.pool,
+                    d.baseline_ns,
+                    d.current_ns,
+                    d.ratio,
+                    d.max_ratio,
+                );
+                if d.regressed && enforced {
                     fatal += 1;
                 }
             }
@@ -374,6 +411,91 @@ fn self_test(current_store: &ArtifactStore, baseline_store: &ArtifactStore) -> b
     true
 }
 
+/// Proves the thread-scaling gate fires: an injected kernel baseline whose
+/// scaling points are 8× faster than the current run's must flag every
+/// point the policy promises to catch; the current curves against
+/// themselves must not flag at all.
+fn scaling_self_test(current_store: &ArtifactStore, baseline_store: &ArtifactStore) -> bool {
+    let current: BenchKernels = match current_store.load("BENCH_kernels") {
+        Ok(k) => k,
+        Err(_) => match baseline_store.load("BENCH_kernels") {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!(
+                    "scaling self-test FAILED: no BENCH_kernels anywhere to build the fixture from ({e})"
+                );
+                return false;
+            }
+        },
+    };
+    if current.scaling.iter().all(|c| c.points.is_empty()) {
+        eprintln!(
+            "scaling self-test FAILED: the kernel baseline carries no scaling curves (rerun kernel_smoke)"
+        );
+        return false;
+    }
+    // An 8×-faster injected baseline makes every current point look like
+    // an 8× slowdown; the clone keeps the pool-aware fingerprint, so this
+    // is the enforced same-machine comparison.
+    let mut injected = current.clone();
+    for curve in &mut injected.scaling {
+        for p in &mut curve.points {
+            p.mean_ns = (p.mean_ns / 8).max(1);
+        }
+    }
+    current_store
+        .save("SELFTEST_injected_scaling", &injected)
+        .expect("fixture persists");
+    let injected: BenchKernels = current_store
+        .load("SELFTEST_injected_scaling")
+        .expect("fixture reloads");
+
+    let tol = BenchTolerance::scaling_default();
+    let against_injected = current.compare_scaling(&injected, &tol);
+    let mut fired = 0usize;
+    let mut expected = 0usize;
+    let mut mismatch = false;
+    for d in &against_injected {
+        let should_fire = d.max_ratio < 8.0 && d.current_ns > d.baseline_ns + tol.floor_ns;
+        expected += usize::from(should_fire);
+        fired += usize::from(d.regressed);
+        if d.regressed != should_fire {
+            eprintln!(
+                "scaling self-test mismatch on `{}` p{}: regressed={} but policy says {} (ratio {:.2}, limit {:.2})",
+                d.kernel, d.pool, d.regressed, should_fire, d.ratio, d.max_ratio
+            );
+            mismatch = true;
+        }
+    }
+    let false_alarms = current
+        .compare_scaling(&current, &tol)
+        .iter()
+        .filter(|d| d.regressed)
+        .count();
+
+    println!(
+        "scaling self-test: {fired} of {} points flagged vs the injected 8x-slowdown fixture ({expected} expected); {false_alarms} false alarms vs self",
+        against_injected.len(),
+    );
+    if mismatch {
+        eprintln!("scaling self-test FAILED: flagged set diverges from the declared policy");
+        return false;
+    }
+    if expected == 0 || fired == 0 {
+        eprintln!(
+            "scaling self-test FAILED: the fixture must make the scaling gate fire at least once"
+        );
+        return false;
+    }
+    if false_alarms > 0 {
+        eprintln!(
+            "scaling self-test FAILED: comparing curves against themselves flagged {false_alarms} points"
+        );
+        return false;
+    }
+    true
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let self_test_mode = args.iter().any(|a| a == "--self-test");
@@ -391,14 +513,15 @@ fn main() {
     if self_test_mode {
         pipebd_bench::header(
             "Regression gate — self-test",
-            "inject failing fixtures and prove both gate halves fire",
+            "inject failing fixtures and prove every gate half fires",
         );
         let perf_ok = self_test(&current_store, &baseline_store);
+        let scaling_ok = scaling_self_test(&current_store, &baseline_store);
         let fault_ok = fault_self_test();
-        if !perf_ok || !fault_ok {
+        if !perf_ok || !scaling_ok || !fault_ok {
             std::process::exit(1);
         }
-        println!("regression gate self-test passed (perf + fault budgets)");
+        println!("regression gate self-test passed (perf + thread-scaling + fault budgets)");
         return;
     }
 

@@ -1,0 +1,238 @@
+//! Work-stealing deques (`Worker`, [`Stealer`], [`Injector`]) with the
+//! `crossbeam-deque` API shape.
+//!
+//! Semantics match the real crate's LIFO worker configuration:
+//!
+//! * the owning thread pushes and pops at the **back** of its deque
+//!   (LIFO — freshly spawned subtasks run first, keeping their working
+//!   set hot in cache);
+//! * stealers take from the **front** (FIFO — thieves drain the oldest,
+//!   typically largest-granularity work, the chase-lev discipline);
+//! * the [`Injector`] is a shared FIFO queue for tasks submitted from
+//!   outside the pool.
+//!
+//! Like the rest of this shim the implementation is a `Mutex<VecDeque>`,
+//! not a lock-free chase-lev buffer: correctness and API compatibility
+//! over throughput (see the crate docs). [`Steal::Retry`] is kept for
+//! source compatibility but never produced — a lock never observes a
+//! torn race the way a CAS loop does.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty at the time of the attempt.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried. Never produced by
+    /// this lock-based implementation; kept for API parity with the real
+    /// crate so call sites port over unchanged.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task, if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the attempt observed an empty queue.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// A deque owned by one worker thread; cheap handles for thieves come
+/// from [`Worker::stealer`].
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a new LIFO worker deque (the only flavor this shim
+    /// provides; the pool uses LIFO scheduling).
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task at the back (the owner's end).
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Pops the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Whether the deque is currently empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("deque poisoned").is_empty()
+    }
+
+    /// Number of queued tasks (racy, advisory only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("deque poisoned").len()
+    }
+
+    /// Creates a stealer handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Self::new_lifo()
+    }
+}
+
+/// A handle that steals from the opposite end of a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal the oldest task (FIFO end).
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("deque poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the deque is currently empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("deque poisoned").is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A shared FIFO queue tasks are injected into from outside the pool's
+/// worker threads.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task at the back.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+    }
+
+    /// Attempts to steal the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("injector poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the injector is currently empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("injector poisoned").is_empty()
+    }
+
+    /// Number of queued tasks (racy, advisory only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("injector poisoned").len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        // Owner pops the newest…
+        assert_eq!(w.pop(), Some(3));
+        // …the thief takes the oldest.
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push('a');
+        inj.push('b');
+        assert_eq!(inj.steal().success(), Some('a'));
+        assert_eq!(inj.steal().success(), Some('b'));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_never_duplicate() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        const N: usize = 1000;
+        let w = Worker::new_lifo();
+        for i in 0..N {
+            w.push(i);
+        }
+        let seen: Arc<Vec<AtomicUsize>> = Arc::new((0..N).map(|_| AtomicUsize::new(0)).collect());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = w.stealer();
+            let seen = Arc::clone(&seen);
+            handles.push(std::thread::spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(i) => {
+                        seen[i].fetch_add(1, Ordering::SeqCst);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }));
+        }
+        while let Some(i) = w.pop() {
+            seen[i].fetch_add(1, Ordering::SeqCst);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "task {i}");
+        }
+    }
+}

@@ -1,12 +1,26 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`channel`] is provided: unbounded MPMC channels with the same
-//! disconnect semantics the threaded executor relies on (`recv` fails
-//! once every sender is dropped and the queue is drained; `send` fails
-//! once every receiver is dropped). The implementation is a
-//! `Mutex<VecDeque>` plus a `Condvar` — adequate for the executor's
-//! coarse-grained activation/gradient messages, with none of crossbeam's
-//! lock-free performance.
+//! Three pieces are provided:
+//!
+//! * [`channel`] — unbounded MPMC channels with the same disconnect
+//!   semantics the threaded executor relies on (`recv` fails once every
+//!   sender is dropped and the queue is drained; `send` fails once every
+//!   receiver is dropped).
+//! * [`deque`] — work-stealing deques with the `crossbeam-deque` API
+//!   shape (owner pops LIFO, thieves steal FIFO) plus a shared
+//!   [`deque::Injector`].
+//! * [`pool`] — a work-stealing thread pool with parkable workers and
+//!   scoped spawn ([`pool::ThreadPool::scope`]), the engine behind
+//!   `pipebd_tensor`'s parallel kernels. (The real crossbeam leaves
+//!   pools to `rayon`; the shim grows its own so the workspace stays
+//!   offline.)
+//!
+//! Implementations are `Mutex<VecDeque>` plus `Condvar` — adequate for
+//! the executor's coarse-grained messages and for macro-tile-granularity
+//! compute tasks, with none of crossbeam's lock-free performance.
+
+pub mod deque;
+pub mod pool;
 
 pub mod channel {
     //! Unbounded MPMC channels (`unbounded`, [`Sender`], [`Receiver`]).

@@ -1,0 +1,450 @@
+//! A work-stealing thread pool with scoped spawn.
+//!
+//! This is the house extension the tensor compute plane runs on (the
+//! real `crossbeam` leaves pools to `rayon`; growing one here keeps the
+//! workspace offline). The moving parts:
+//!
+//! * **Per-worker deques** ([`crate::deque`]): a task spawned *by* a
+//!   worker lands on that worker's own deque and is popped LIFO (hot
+//!   cache); idle workers and the scope's calling thread steal FIFO from
+//!   the [`Injector`] and from each other.
+//! * **Parkable workers**: an idle worker sleeps on a condvar. A stamp
+//!   counter incremented under the same lock on every push makes the
+//!   classic scan-then-sleep race benign — if a push lands between a
+//!   worker's failed scan and its park, the stamp no longer matches and
+//!   the worker rescans instead of sleeping.
+//! * **Scoped spawn** ([`ThreadPool::scope`]): tasks may borrow from the
+//!   caller's stack (e.g. disjoint `chunks_mut` of one output buffer).
+//!   `scope` does not return until every spawned task has finished, which
+//!   is what makes the one `unsafe` lifetime erasure below sound — the
+//!   same contract as `std::thread::scope` and `rayon::scope`.
+//! * **Panic propagation**: a panicking task is caught on the worker,
+//!   its payload parked in the scope state, and re-thrown from `scope`
+//!   on the calling thread once all tasks have drained — a crash
+//!   surfaces as a crash, never as a deadlocked join.
+//!
+//! A pool of size `n` owns `n - 1` OS threads: the thread calling
+//! [`ThreadPool::scope`] is the `n`-th lane, helping execute tasks while
+//! it waits. `ThreadPool::new(1)` therefore spawns no threads at all and
+//! runs every task inline — the serial pool.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::deque::{Injector, Steal, Stealer, Worker};
+
+/// A type-erased, lifetime-erased task. Scope tasks are transmuted to
+/// `'static` before entering the queues; `scope`'s drain barrier is what
+/// keeps the erasure sound.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Distinguishes pools so a worker thread only treats *its own* pool's
+/// spawns as local pushes.
+static POOL_IDS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set for the lifetime of a pool worker thread: `(pool id, own deque)`.
+    static CURRENT_WORKER: RefCell<Option<(usize, Worker<Job>)>> = const { RefCell::new(None) };
+}
+
+/// Shared coordination state: the queues plus the park/wake machinery.
+struct PoolShared {
+    id: usize,
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    state: Mutex<PoolState>,
+    work_available: Condvar,
+}
+
+struct PoolState {
+    /// Bumped under the lock on every push; the anti-lost-wakeup stamp.
+    stamp: u64,
+    shutdown: bool,
+}
+
+impl PoolShared {
+    /// Queues `job` — onto the current thread's own deque when that
+    /// thread is one of this pool's workers, else onto the injector —
+    /// and wakes parked workers.
+    fn push_job(&self, job: Job) {
+        let mut job = Some(job);
+        CURRENT_WORKER.with(|c| {
+            if let Some((id, w)) = c.borrow().as_ref() {
+                if *id == self.id {
+                    w.push(job.take().expect("job pushed twice"));
+                }
+            }
+        });
+        if let Some(j) = job {
+            self.injector.push(j);
+        }
+        let mut st = self.state.lock().expect("pool state poisoned");
+        st.stamp = st.stamp.wrapping_add(1);
+        drop(st);
+        self.work_available.notify_all();
+    }
+
+    /// One full scan: local deque (if the calling thread is one of this
+    /// pool's workers), then the injector, then every worker's deque.
+    fn find_job(&self) -> Option<Job> {
+        let local = CURRENT_WORKER.with(|c| {
+            c.borrow()
+                .as_ref()
+                .and_then(|(id, w)| if *id == self.id { w.pop() } else { None })
+        });
+        if local.is_some() {
+            return local;
+        }
+        loop {
+            match self.injector.steal() {
+                Steal::Success(j) => return Some(j),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        for s in &self.stealers {
+            loop {
+                match s.steal() {
+                    Steal::Success(j) => return Some(j),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The work-stealing pool. See the module docs for the design.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `size` compute lanes: `size - 1` worker
+    /// threads plus the scope-calling thread. `size == 1` (or `0`,
+    /// clamped) spawns no threads and runs scopes inline.
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let threads = size - 1;
+        let id = POOL_IDS.fetch_add(1, Ordering::Relaxed);
+        let deques: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = deques.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(PoolShared {
+            id,
+            injector: Injector::new(),
+            stealers,
+            state: Mutex::new(PoolState {
+                stamp: 0,
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+        });
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, deque)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pipebd-pool-{id}-{i}"))
+                    .spawn(move || worker_loop(shared, deque))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            size,
+        }
+    }
+
+    /// Number of compute lanes (worker threads + the scoping caller).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `op` with a [`Scope`] handle; every task spawned on the scope
+    /// has finished (or panicked) by the time `scope` returns. The
+    /// calling thread helps execute tasks while it waits.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `op` itself, or (if `op` succeeded) the
+    /// first panic raised by a spawned task.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            sync: Mutex::new(()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let scope = Scope {
+            shared: Arc::clone(&self.shared),
+            state: Arc::clone(&state),
+            _marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        // Drain barrier: all spawned tasks must finish before we return
+        // (or unwind), whether `op` succeeded or panicked — this is what
+        // makes the lifetime erasure in `Scope::spawn` sound.
+        self.help_until_done(&state);
+        let task_panic = state.panic.lock().expect("panic slot poisoned").take();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(r) => {
+                if let Some(payload) = task_panic {
+                    resume_unwind(payload);
+                }
+                r
+            }
+        }
+    }
+
+    /// The caller's side of the drain barrier: execute queued tasks until
+    /// this scope's pending count hits zero, sleeping only when every
+    /// queue is empty (remaining tasks are running on workers, whose
+    /// completions signal `done`).
+    fn help_until_done(&self, state: &ScopeState) {
+        loop {
+            if state.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if let Some(job) = self.shared.find_job() {
+                job();
+                continue;
+            }
+            let guard = state.sync.lock().expect("scope sync poisoned");
+            // Re-check under the lock: `complete` notifies while holding
+            // it, so a final completion cannot slip between this check
+            // and the wait.
+            if state.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let _unused = state.done.wait(guard).expect("scope sync poisoned");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_available.notify_all();
+        for h in self.workers.drain(..) {
+            let _join = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+/// Completion tracking for one [`ThreadPool::scope`] call.
+struct ScopeState {
+    /// Tasks spawned but not yet finished.
+    pending: AtomicUsize,
+    sync: Mutex<()>,
+    done: Condvar,
+    /// First panic payload raised by a task, re-thrown from `scope`.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().expect("panic slot poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn complete(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.sync.lock().expect("scope sync poisoned");
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`]. Tasks may
+/// themselves spawn further tasks on the same scope (task DAGs), and may
+/// borrow anything that outlives `'scope`.
+pub struct Scope<'scope> {
+    shared: Arc<PoolShared>,
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope`, the `std::thread::scope` discipline.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task on the pool. The task receives the scope handle so
+    /// it can spawn subtasks; it is guaranteed to have run to completion
+    /// (or panicked) before the enclosing `scope` call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let shared = Arc::clone(&self.shared);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = Scope {
+                shared,
+                state,
+                _marker: PhantomData,
+            };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                scope.state.record_panic(payload);
+            }
+            scope.state.complete();
+        });
+        // SAFETY: the job's captures only need to live for `'scope`, but
+        // the queues require `'static`. `ThreadPool::scope` blocks (in
+        // `help_until_done`, reached on both the success and the panic
+        // path of `op`) until `pending` reaches zero, i.e. until this job
+        // has finished running, before control can return to the caller
+        // and invalidate any `'scope` borrow. This is the same join-
+        // before-return argument that underpins `std::thread::scope`.
+        #[allow(unsafe_code)]
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.shared.push_job(job);
+    }
+}
+
+/// The body run by each worker thread: scan, run, or park.
+fn worker_loop(shared: Arc<PoolShared>, deque: Worker<Job>) {
+    CURRENT_WORKER.with(|c| *c.borrow_mut() = Some((shared.id, deque)));
+    loop {
+        // Read the stamp *before* scanning: if a push lands mid-scan the
+        // stamp moves and the park below falls through to a rescan.
+        let seen = shared.state.lock().expect("pool state poisoned").stamp;
+        if let Some(job) = shared.find_job() {
+            job();
+            continue;
+        }
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        loop {
+            if st.shutdown {
+                return;
+            }
+            if st.stamp != seen {
+                break;
+            }
+            st = shared.work_available.wait(st).expect("pool state poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn inline_pool_runs_everything_on_caller() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.size(), 1);
+        let caller = std::thread::current().id();
+        let mut ran_on = None;
+        pool.scope(|s| {
+            s.spawn(|_| {}); // warm the queue so the helper loop runs
+        });
+        pool.scope(|s| {
+            let slot = &mut ran_on;
+            s.spawn(move |_| *slot = Some(std::thread::current().id()));
+        });
+        assert_eq!(ran_on, Some(caller));
+    }
+
+    #[test]
+    fn scope_tasks_borrow_disjoint_chunks() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0u32; 64];
+        pool.scope(|s| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u32 + 1;
+                    }
+                });
+            }
+        });
+        for (i, chunk) in data.chunks(16).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        let pool = ThreadPool::new(4);
+        let count = AtomicU32::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    for _ in 0..4 {
+                        s.spawn(|_| {
+                            count.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 8 + 8 * 4);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_scope_caller() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("boom from task"));
+                s.spawn(|_| {}); // a healthy sibling still completes
+            });
+        }));
+        let payload = result.expect_err("scope must re-raise the task panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom from task");
+        // The pool survives a panicked scope.
+        let ok = AtomicU32::new(0);
+        pool.scope(|s| {
+            s.spawn(|_| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn sequential_scopes_reuse_parked_workers() {
+        let pool = ThreadPool::new(3);
+        for round in 0..50u32 {
+            let count = AtomicU32::new(0);
+            pool.scope(|s| {
+                for _ in 0..round % 7 {
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(count.load(Ordering::SeqCst), round % 7);
+        }
+    }
+}

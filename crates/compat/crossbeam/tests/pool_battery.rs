@@ -1,0 +1,201 @@
+//! The pool concurrency battery: property tests over the work-stealing
+//! thread pool's load-bearing guarantees.
+//!
+//! Each property is sampled across task counts, pool sizes, and seeded
+//! workload shapes (the proptest shim derives its RNG from the test
+//! name, so every run replays the same schedules *modulo* OS thread
+//! interleaving — which is exactly the nondeterminism under test):
+//!
+//! * **exactly-once** — N tasks across M workers each run once: none
+//!   lost to a lost wakeup, none duplicated by a racing steal;
+//! * **stealing preserves the multiset** — concurrent thieves draining
+//!   a worker's deque see every item exactly once between them;
+//! * **panic propagation** — a panicking scoped task reaches the scope
+//!   caller as a panic (never a deadlock), and the pool stays usable;
+//! * **DAG stress** — seeded random task graphs where tasks spawn
+//!   subtasks mid-flight still complete exactly once per node.
+//!
+//! Iteration counts are bounded so the battery stays CI-friendly (it
+//! also runs in the dedicated pool-stress CI lane in release mode).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crossbeam::deque::{Steal, Worker};
+use crossbeam::pool::ThreadPool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_task_runs_exactly_once(tasks in 1usize..200, size in 1usize..6) {
+        let pool = ThreadPool::new(size);
+        let counts: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+        pool.scope(|s| {
+            for c in &counts {
+                s.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "task {} ran a wrong number of times", i);
+        }
+    }
+
+    #[test]
+    fn stealing_never_loses_or_duplicates(items in 1usize..500, thieves in 1usize..5) {
+        // Raw deque level: one owner pushes, many thieves drain; the
+        // union of what everyone saw must be the pushed multiset.
+        let owner = Worker::new_lifo();
+        for i in 0..items {
+            owner.push(i);
+        }
+        let seen = Mutex::new(vec![0usize; items]);
+        std::thread::scope(|scope| {
+            for _ in 0..thieves {
+                let stealer = owner.stealer();
+                let seen = &seen;
+                scope.spawn(move || loop {
+                    match stealer.steal() {
+                        Steal::Success(v) => seen.lock().unwrap()[v] += 1,
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                });
+            }
+            // The owner drains its own end concurrently.
+            while let Some(v) = owner.pop() {
+                seen.lock().unwrap()[v] += 1;
+            }
+        });
+        let seen = seen.into_inner().unwrap();
+        for (i, &n) in seen.iter().enumerate() {
+            prop_assert_eq!(n, 1, "item {} seen {} times", i, n);
+        }
+    }
+
+    #[test]
+    fn seeded_dag_stress_completes_every_node(
+        size in 1usize..5,
+        roots in 1usize..12,
+        fanout in 0usize..4,
+        depth in 1usize..4,
+    ) {
+        // A task tree: every node spawns `fanout` children until `depth`
+        // runs out, from inside running tasks — the path that exercises
+        // worker-local pushes, stealing between workers, and the scope's
+        // pending count racing task completion.
+        fn nodes(fanout: usize, depth: usize) -> usize {
+            if depth == 0 {
+                1
+            } else {
+                1 + fanout * nodes(fanout, depth - 1)
+            }
+        }
+        let expected = roots * nodes(fanout, depth);
+        let pool = ThreadPool::new(size);
+        let ran = AtomicUsize::new(0);
+        pool.scope(|s| {
+            fn grow<'scope>(
+                s: &crossbeam::pool::Scope<'scope>,
+                ran: &'scope AtomicUsize,
+                fanout: usize,
+                depth: usize,
+            ) {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if depth == 0 {
+                    return;
+                }
+                for _ in 0..fanout {
+                    s.spawn(move |s| grow(s, ran, fanout, depth - 1));
+                }
+            }
+            for _ in 0..roots {
+                let ran = &ran;
+                s.spawn(move |s| grow(s, ran, fanout, depth));
+            }
+        });
+        prop_assert_eq!(ran.load(Ordering::Relaxed), expected);
+    }
+}
+
+#[test]
+fn scoped_panic_propagates_instead_of_deadlocking() {
+    let pool = ThreadPool::new(3);
+    for round in 0..20 {
+        let survivors = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..8 {
+                    let survivors = &survivors;
+                    s.spawn(move |_| {
+                        if i == 3 {
+                            panic!("injected task failure");
+                        }
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "round {round}: panic was swallowed");
+        // Non-panicking siblings still ran (the scope drains, it does
+        // not abort), and the pool survives for the next round.
+        assert_eq!(survivors.load(Ordering::Relaxed), 7, "round {round}");
+    }
+    // The pool is still functional after 20 panicked scopes.
+    let ok = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..16 {
+            let ok = &ok;
+            s.spawn(move |_| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), 16);
+}
+
+#[test]
+fn panic_in_scope_body_beats_task_panics() {
+    // When both the scope closure and a task panic, the closure's panic
+    // is the one re-raised (tasks still drain first).
+    let pool = ThreadPool::new(2);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            s.spawn(|_| panic!("task panic"));
+            panic!("scope body panic");
+        });
+    }))
+    .unwrap_err();
+    let msg = err
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or_else(|| err.downcast_ref::<String>().map_or("?", String::as_str));
+    assert_eq!(msg, "scope body panic");
+}
+
+#[test]
+fn heavy_interleaved_scopes_do_not_lose_tasks() {
+    // Bounded stress: many back-to-back scopes on one pool, alternating
+    // burst sizes, to shake out lost-wakeup bugs in the park/unpark
+    // protocol (a hang here is the failure mode, caught by CI timeouts).
+    let pool = ThreadPool::new(4);
+    let total = AtomicUsize::new(0);
+    let mut expected = 0usize;
+    for round in 0..200 {
+        let burst = 1 + (round * 7) % 23;
+        expected += burst;
+        pool.scope(|s| {
+            for _ in 0..burst {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    assert_eq!(total.load(Ordering::Relaxed), expected);
+}

@@ -122,6 +122,16 @@ pub struct FuncConfig {
     /// Whether updates are decoupled (no inter-device barrier). Changes
     /// scheduling only; parity tests verify results are unchanged.
     pub decoupled_updates: bool,
+    /// Host compute-lane budget for intra-stage kernel parallelism.
+    /// The reference executor installs one pool of this size; the
+    /// threaded executor divides it across device ranks
+    /// ([`StagePlan::intra_pool_widths`]) so stage concurrency and
+    /// kernel parallelism share one budget. `None` falls back to
+    /// [`pipebd_tensor::parallel::default_pool_size`] (`PIPEBD_POOL` or
+    /// the machine width); `Some(1)` pins every kernel serial. The
+    /// tensor determinism contract keeps results bitwise identical
+    /// across budgets.
+    pub pool_size: Option<usize>,
 }
 
 impl Default for FuncConfig {
@@ -134,7 +144,18 @@ impl Default for FuncConfig {
             momentum: 0.9,
             plan: None,
             decoupled_updates: true,
+            pool_size: None,
         }
+    }
+}
+
+impl FuncConfig {
+    /// The resolved host compute-lane budget: `pool_size` if set, else
+    /// the process default (`PIPEBD_POOL` or the machine width).
+    pub fn pool_budget(&self) -> usize {
+        self.pool_size
+            .unwrap_or_else(pipebd_tensor::parallel::default_pool_size)
+            .max(1)
     }
 }
 

@@ -8,6 +8,7 @@
 
 use pipebd_data::SyntheticImageDataset;
 use pipebd_nn::{mse_loss, BlockNet, Layer, Mode, Sgd};
+use pipebd_tensor::parallel::{self, ComputePool};
 use pipebd_tensor::TensorError;
 
 use super::{FuncConfig, FuncOutcome};
@@ -16,11 +17,27 @@ use super::{FuncConfig, FuncOutcome};
 /// the teacher forward once, then train each student block on its boundary
 /// pair.
 ///
+/// The whole run executes under a compute pool of `cfg.pool_budget()`
+/// lanes (a budget of 1 installs an inline pool, pinning every kernel
+/// serial regardless of the process default). By the tensor crate's
+/// determinism contract this never changes a single bit of the result —
+/// the conformance tests compare outcomes across budgets to prove it.
+///
 /// # Errors
 ///
 /// Propagates tensor shape errors (which indicate mismatched teacher and
 /// student boundary shapes).
 pub fn run(
+    teacher: &BlockNet,
+    student: &BlockNet,
+    data: &SyntheticImageDataset,
+    cfg: &FuncConfig,
+) -> Result<FuncOutcome, TensorError> {
+    let pool = ComputePool::new(cfg.pool_budget());
+    parallel::install(&pool, || run_serial_semantics(teacher, student, data, cfg))
+}
+
+fn run_serial_semantics(
     teacher: &BlockNet,
     student: &BlockNet,
     data: &SyntheticImageDataset,

@@ -40,6 +40,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use pipebd_data::SyntheticImageDataset;
 use pipebd_nn::{mse_loss, Block, BlockNet, Layer, Mode, Sgd};
 use pipebd_sched::StagePlan;
+use pipebd_tensor::parallel::{self, ComputePool};
 use pipebd_tensor::{SharedTensor, Tensor};
 
 pub use super::ExecError;
@@ -185,12 +186,24 @@ pub fn run(
     let data = Arc::new(data.clone());
     let cfg_arc = Arc::new(cfg.clone());
 
+    // Split the host compute budget across device ranks: each worker
+    // installs a pool of its assigned width, so intra-stage kernel
+    // parallelism never multiplies with stage concurrency into
+    // oversubscription. A width-1 pool is inline (no threads) and pins
+    // that device's kernels serial — including against the process
+    // default. By the tensor determinism contract the widths change
+    // wall-clock only, never a bit of the result.
+    let intra_widths = plan.intra_pool_widths(cfg.pool_budget());
+
     let mut handles = Vec::with_capacity(roles.len());
     for role in roles {
         let barrier = Arc::clone(&barrier);
         let data = Arc::clone(&data);
         let cfg = Arc::clone(&cfg_arc);
-        handles.push(std::thread::spawn(move || worker(role, barrier, data, cfg)));
+        let pool = ComputePool::new(intra_widths[role.device]);
+        handles.push(std::thread::spawn(move || {
+            parallel::install(&pool, || worker(role, barrier, data, cfg))
+        }));
     }
 
     // Collect per-device results: (first_block, member, params, losses).

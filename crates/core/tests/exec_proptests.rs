@@ -47,6 +47,7 @@ proptest! {
             momentum: 0.9,
             plan: Some(plan.clone()),
             decoupled_updates: dpu,
+            pool_size: None,
         };
         let golden = reference::run(&teacher, &student, &data, &func).unwrap();
         let parallel = threaded::run(&teacher, &student, &data, &func).unwrap();

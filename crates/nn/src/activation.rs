@@ -1,6 +1,10 @@
-use pipebd_tensor::{Result, Tensor, TensorError};
+use pipebd_tensor::{parallel, Result, Tensor, TensorError};
 
 use crate::{Layer, Mode, Param};
+
+/// Minimum elements per parallel chunk for activation maps — below this,
+/// task spawning costs more than the arithmetic it distributes.
+const MIN_PAR_CHUNK: usize = 4096;
 
 /// Rectified linear unit, `max(0, x)`.
 #[derive(Debug, Clone, Default)]
@@ -20,7 +24,14 @@ impl Layer for Relu {
         if mode == Mode::Train {
             self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
         }
-        Ok(x.map(|v| v.max(0.0)))
+        let mut y = x.clone();
+        // Elementwise, so chunking cannot change any element's value.
+        parallel::for_each_chunk(y.data_mut(), MIN_PAR_CHUNK, |chunk| {
+            for v in chunk {
+                *v = v.max(0.0);
+            }
+        });
+        Ok(y)
     }
 
     fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
@@ -73,7 +84,13 @@ impl Layer for Relu6 {
         if mode == Mode::Train {
             self.mask = Some(x.data().iter().map(|&v| v > 0.0 && v < 6.0).collect());
         }
-        Ok(x.map(|v| v.clamp(0.0, 6.0)))
+        let mut y = x.clone();
+        parallel::for_each_chunk(y.data_mut(), MIN_PAR_CHUNK, |chunk| {
+            for v in chunk {
+                *v = v.clamp(0.0, 6.0);
+            }
+        });
+        Ok(y)
     }
 
     fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {

@@ -198,6 +198,27 @@ impl StagePlan {
     pub fn uses_batch_split(&self) -> bool {
         self.stages.iter().any(|s| s.width() > 1)
     }
+
+    /// Splits a host compute budget of `host_threads` lanes across the
+    /// plan's device ranks, returning the per-device intra-stage pool
+    /// width (indexed by device rank).
+    ///
+    /// All `N` device workers run concurrently on the host, so the
+    /// budget is divided evenly across ranks: each gets
+    /// `host_threads / N` lanes (minimum 1 — a device worker always has
+    /// its own thread), and the first `host_threads % N` ranks get one
+    /// extra lane. A width of 1 means that device's kernels run serially;
+    /// widths never sum above `max(host_threads, N)`, so stage
+    /// concurrency and intra-stage kernel parallelism share one budget
+    /// instead of multiplying into oversubscription.
+    pub fn intra_pool_widths(&self, host_threads: usize) -> Vec<usize> {
+        let n = self.num_devices.max(1);
+        let base = host_threads / n;
+        let extra = host_threads % n;
+        (0..self.num_devices)
+            .map(|d| (base + usize::from(d < extra)).max(1))
+            .collect()
+    }
 }
 
 impl std::fmt::Display for StagePlan {
@@ -387,6 +408,18 @@ mod tests {
     fn display_is_compact() {
         let p = StagePlan::from_widths(&[(3, 3), (3, 1)], 6, 4).unwrap();
         assert_eq!(format!("{p}"), "b0..2@gpu0..2 | b3..5@gpu3..3");
+    }
+
+    #[test]
+    fn intra_pool_widths_share_the_host_budget() {
+        let p = StagePlan::contiguous(6, 4).unwrap();
+        // Budget below the device count: everyone still gets one lane.
+        assert_eq!(p.intra_pool_widths(1), vec![1, 1, 1, 1]);
+        assert_eq!(p.intra_pool_widths(4), vec![1, 1, 1, 1]);
+        // Remainder lanes go to the lowest ranks.
+        assert_eq!(p.intra_pool_widths(6), vec![2, 2, 1, 1]);
+        assert_eq!(p.intra_pool_widths(8), vec![2, 2, 2, 2]);
+        assert_eq!(p.intra_pool_widths(11), vec![3, 3, 3, 2]);
     }
 
     #[test]

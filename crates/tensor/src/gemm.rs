@@ -20,10 +20,19 @@
 //! ```
 //!
 //! The microkernel keeps an `MR x NR` accumulator as a fixed-size array,
-//! which LLVM autovectorizes and keeps in vector registers — no unsafe,
-//! no intrinsics. Per-element accumulation order over `k` is identical
-//! to the naive loops (panels ascend, lanes are independent), so the two
-//! policies agree to rounding contraction, not just to "some tolerance".
+//! which LLVM autovectorizes and keeps in vector registers — no
+//! intrinsics; the instruction set it may use is chosen at runtime by
+//! the [`SimdTier`] dispatch (`simd` module), not at compile time.
+//! Per-element accumulation order over `k` is identical to the naive
+//! loops (panels ascend, lanes are independent), so the two policies
+//! agree to rounding contraction, not just to "some tolerance".
+//!
+//! When a compute pool is active (`parallel` module), [`gemm_strided`]
+//! splits C into per-task row bands (or, for short-wide outputs, column
+//! bands through contiguous scratch) and each task runs the unchanged
+//! serial kernel [`gemm_serial`] over its band — every C element's fma
+//! chain is produced whole by one worker, so parallel results are
+//! bitwise identical to serial ones.
 //!
 //! Packing buffers live in thread-local scratch ([`with_pack_buffers`]),
 //! so steady-state training performs no per-call allocation.
@@ -31,6 +40,8 @@
 //! [`KernelPolicy::Blocked`]: crate::KernelPolicy::Blocked
 
 use std::cell::RefCell;
+
+use crate::simd::{simd_tier, SimdTier};
 
 /// Rows of C carried per microkernel tile.
 const MR: usize = 8;
@@ -119,7 +130,163 @@ pub(crate) fn gemm_strided(
         }
         return;
     }
+    if let Some(pool) = crate::parallel::active_pool() {
+        let width = pool.size();
+        // Prefer row bands: MR-aligned chunks of row-major C are
+        // contiguous, so tasks borrow disjoint `chunks_mut` directly.
+        let band = m.div_ceil(width).next_multiple_of(MR);
+        if band < m {
+            gemm_rows_parallel(
+                &pool, band, m, n, k, a, rsa, csa, b, rsb, csb, c, accumulate,
+            );
+            return;
+        }
+        // Too few rows to split (e.g. a conv with a handful of output
+        // channels): split C's columns instead, through per-band scratch.
+        let nband = n.div_ceil(width).next_multiple_of(NR);
+        if nband < n {
+            gemm_cols_parallel(
+                &pool, nband, m, n, k, a, rsa, csa, b, rsb, csb, c, accumulate,
+            );
+            return;
+        }
+        // Smaller than one band either way: not worth a scope.
+    }
+    gemm_serial(m, n, k, a, rsa, csa, b, rsb, csb, c, accumulate);
+}
 
+/// Parallel GEMM over horizontal bands of C: task `i` computes rows
+/// `[i*band, …)` by running the full serial kernel on its row slice.
+/// Per-element arithmetic is untouched — each C element still receives
+/// the same ascending-`k` fma chain the serial kernel produces, so the
+/// result is bitwise identical for every band split (see the `parallel`
+/// module's determinism contract).
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows_parallel(
+    pool: &crate::parallel::ComputePool,
+    band: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    rsa: usize,
+    csa: usize,
+    b: &[f32],
+    rsb: usize,
+    csb: usize,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert!(band % MR == 0 && band < m);
+    pool.run_scope(|s| {
+        for (bi, cband) in c.chunks_mut(band * n).enumerate() {
+            let rows = cband.len() / n;
+            let a_band = &a[bi * band * rsa..];
+            s.spawn(move || {
+                gemm_serial(rows, n, k, a_band, rsa, csa, b, rsb, csb, cband, accumulate);
+            });
+        }
+    });
+}
+
+thread_local! {
+    /// Column-band scratch for [`gemm_cols_parallel`], reused across
+    /// calls on the scoping (caller) thread. Distinct from
+    /// `PACK_BUFFERS`, which the per-band `gemm_serial` runs use on
+    /// their own worker threads.
+    static BAND_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Parallel GEMM over vertical bands of C for short-and-wide outputs.
+/// Column bands of row-major C interleave in memory, so each task
+/// computes its band into a contiguous scratch block; the caller copies
+/// bands in before the scope (when accumulating, so the serial
+/// `c_prev + panel₀ + panel₁ + …` chain per element is preserved
+/// exactly) and back out after. The copies are whole-row-segment
+/// `memcpy`s and change no values — bitwise parity holds.
+#[allow(clippy::too_many_arguments)]
+fn gemm_cols_parallel(
+    pool: &crate::parallel::ComputePool,
+    nband: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    rsa: usize,
+    csa: usize,
+    b: &[f32],
+    rsb: usize,
+    csb: usize,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert!(nband % NR == 0 && nband < n);
+    let nbands = n.div_ceil(nband);
+    BAND_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < m * nband * nbands {
+            buf.resize(m * nband * nbands, 0.0);
+        }
+        let scratch = &mut buf[..m * nband * nbands];
+        let extent = |bi: usize| (bi * nband, nband.min(n - bi * nband));
+        if accumulate {
+            for (bi, sb) in scratch.chunks_mut(m * nband).enumerate() {
+                let (j0, nb) = extent(bi);
+                for r in 0..m {
+                    sb[r * nb..][..nb].copy_from_slice(&c[r * n + j0..][..nb]);
+                }
+            }
+        }
+        pool.run_scope(|s| {
+            for (bi, sb) in scratch.chunks_mut(m * nband).enumerate() {
+                let (j0, nb) = extent(bi);
+                let b_band = &b[j0 * csb..];
+                let sb = &mut sb[..m * nb];
+                s.spawn(move || {
+                    gemm_serial(m, nb, k, a, rsa, csa, b_band, rsb, csb, sb, accumulate);
+                });
+            }
+        });
+        for (bi, sb) in scratch.chunks(m * nband).enumerate() {
+            let (j0, nb) = extent(bi);
+            for r in 0..m {
+                c[r * n + j0..][..nb].copy_from_slice(&sb[r * nb..][..nb]);
+            }
+        }
+    });
+}
+
+/// The single-threaded three-level blocked kernel — the serial core
+/// every parallel band task runs unchanged. See [`gemm_strided`] for the
+/// operand contract.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_serial(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    rsa: usize,
+    csa: usize,
+    b: &[f32],
+    rsb: usize,
+    csb: usize,
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(c.len(), m * n, "gemm: C extent");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+
+    // Resolved once per kernel invocation; `macro_kernel` dispatches to
+    // the code compiled for this tier.
+    let tier = simd_tier();
     let mc = MC.min(m.next_multiple_of(MR));
     let nc = NC.min(n.next_multiple_of(NR));
     let kc = KC.min(k);
@@ -143,7 +310,7 @@ pub(crate) fn gemm_strided(
                 while ic < m {
                     let mb = mc.min(m - ic);
                     pack_a(pa, a, rsa, csa, ic, mb, pc, kb);
-                    macro_kernel(pa, pb, mb, nb, kb, &mut c[ic * n..], n, jc, add);
+                    macro_kernel(tier, pa, pb, mb, nb, kb, &mut c[ic * n..], n, jc, add);
                     ic += mb;
                 }
                 pc += kb;
@@ -224,9 +391,92 @@ fn pack_b(
     }
 }
 
-/// Runs the microkernel over every `MR x NR` tile of the packed panels.
+/// Dispatches the macro-kernel to the code compiled for `tier`. All
+/// three targets run [`macro_kernel_body`]; only the instruction set
+/// LLVM may use differs, and the `mul_add` chains make the results
+/// bitwise identical across tiers (see the `simd` module docs).
 #[allow(clippy::too_many_arguments)]
+#[allow(unsafe_code)]
 fn macro_kernel(
+    tier: SimdTier,
+    pa: &[f32],
+    pb: &[f32],
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    jc: usize,
+    add: bool,
+) {
+    match tier {
+        SimdTier::Scalar => macro_kernel_body(pa, pb, mb, nb, kb, c, ldc, jc, add),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: `simd_tier()` only ever yields a tier that passed
+        // `SimdTier::is_supported` on this CPU (the probe, the validated
+        // setter, or the panicking env parse), so the required features
+        // are present at runtime.
+        SimdTier::Fma => unsafe { macro_kernel_fma(pa, pb, mb, nb, kb, c, ldc, jc, add) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: as above — Avx512 is unreachable on CPUs lacking it.
+        SimdTier::Avx512 => unsafe { macro_kernel_avx512(pa, pb, mb, nb, kb, c, ldc, jc, add) },
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        _ => unreachable!("non-scalar tiers are never supported off x86"),
+    }
+}
+
+/// [`macro_kernel_body`] compiled with AVX2 + FMA enabled.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports `avx2` and `fma`.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+#[allow(unsafe_code)]
+unsafe fn macro_kernel_fma(
+    pa: &[f32],
+    pb: &[f32],
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    jc: usize,
+    add: bool,
+) {
+    macro_kernel_body(pa, pb, mb, nb, kb, c, ldc, jc, add);
+}
+
+/// [`macro_kernel_body`] compiled with AVX-512 (F/VL/DQ/BW) enabled.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports the enabled AVX-512 subsets.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw,avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+#[allow(unsafe_code)]
+unsafe fn macro_kernel_avx512(
+    pa: &[f32],
+    pb: &[f32],
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    jc: usize,
+    add: bool,
+) {
+    macro_kernel_body(pa, pb, mb, nb, kb, c, ldc, jc, add);
+}
+
+/// Runs the microkernel over every `MR x NR` tile of the packed panels.
+/// `inline(always)` so each `#[target_feature]` wrapper gets its own
+/// fully-inlined copy compiled under that wrapper's instruction set.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn macro_kernel_body(
     pa: &[f32],
     pb: &[f32],
     mb: usize,
@@ -268,7 +518,7 @@ fn macro_kernel(
 /// `kb` groups of `NR` values. The accumulator is built locally and
 /// returned by value so LLVM promotes it to vector registers for the
 /// whole depth loop.
-#[inline]
+#[inline(always)]
 fn microkernel(apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
     let mut acc = [[0.0f32; NR]; MR];
     for (av, bv) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {

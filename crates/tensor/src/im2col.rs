@@ -32,6 +32,7 @@ use std::cell::RefCell;
 
 use crate::conv::Conv2dSpec;
 use crate::gemm::gemm_strided;
+use crate::parallel::{self, ComputePool};
 
 thread_local! {
     /// Column-matrix scratch, reused across calls on this thread.
@@ -153,8 +154,55 @@ fn col2im_add(dxg: &mut [f32], col: &[f32], spec: &Conv2dSpec, g: &ConvGeom) {
     }
 }
 
+/// Computes the output block of one `(batch, group)` unit. Inner GEMMs
+/// go through [`gemm_strided`], so a *single*-unit conv called outside a
+/// pool task still parallelizes over its GEMM bands, while unit bodies
+/// running *as* pool tasks execute serially (nested decomposition is
+/// suppressed) — either way the values are bitwise identical.
+fn conv2d_unit(x: &[f32], w: &[f32], og: &mut [f32], spec: &Conv2dSpec, g: &ConvGeom, u: usize) {
+    let (b, gi) = (u / spec.groups, u % spec.groups);
+    let (cig, cog) = (g.cig(spec), g.cog(spec));
+    let ckk = cig * spec.kernel * spec.kernel;
+    let (hw, ohow) = (g.h * g.w, g.oh * g.ow);
+    let xg = &x[(b * spec.in_channels + gi * cig) * hw..][..cig * hw];
+    let wg = &w[gi * cog * ckk..][..cog * ckk];
+    if g.pointwise(spec) {
+        gemm_strided(cog, ohow, ckk, wg, ckk, 1, xg, hw, 1, og, false);
+    } else {
+        with_col_buffer(ckk * ohow, |col| {
+            im2col(col, xg, spec, g);
+            gemm_strided(cog, ohow, ckk, wg, ckk, 1, col, ohow, 1, og, false);
+        });
+    }
+}
+
+/// Chunks `units * block`-element `data` into one contiguous unit range
+/// per pool lane and runs `f(first_unit, chunk)` for each in parallel.
+/// Unit `u`'s block is `data[u * block ..][.. block]`, so contiguous unit
+/// ranges are contiguous slices — tasks borrow disjoint `chunks_mut`.
+fn par_units(
+    pool: &ComputePool,
+    data: &mut [f32],
+    block: usize,
+    f: impl Fn(usize, &mut [f32]) + Send + Sync,
+) {
+    let units = data.len() / block;
+    let per = units.div_ceil(pool.size());
+    let f = &f;
+    pool.run_scope(|s| {
+        for (ci, chunk) in data.chunks_mut(per * block).enumerate() {
+            s.spawn(move || f(ci * per, chunk));
+        }
+    });
+}
+
 /// Forward convolution via im2col + GEMM. `out` must be zero-length-checked
 /// by the caller: it is fully overwritten, shape `[n, co, oh, ow]`.
+///
+/// With an active compute pool the `(batch, group)` units are split into
+/// contiguous ranges, one range per lane; every unit's output block is
+/// produced whole by one worker running the unchanged serial unit body,
+/// so the result is bitwise identical to the serial loop.
 pub(crate) fn conv2d_blocked(
     x: &[f32],
     w: &[f32],
@@ -162,35 +210,55 @@ pub(crate) fn conv2d_blocked(
     spec: &Conv2dSpec,
     g: &ConvGeom,
 ) {
+    let block = g.cog(spec) * g.oh * g.ow;
+    let units = g.n * spec.groups;
+    if units >= 2 {
+        if let Some(pool) = parallel::active_pool() {
+            par_units(&pool, out, block, |u0, chunk| {
+                for (i, og) in chunk.chunks_mut(block).enumerate() {
+                    conv2d_unit(x, w, og, spec, g, u0 + i);
+                }
+            });
+            return;
+        }
+    }
+    for (u, og) in out.chunks_mut(block).enumerate() {
+        conv2d_unit(x, w, og, spec, g, u);
+    }
+}
+
+/// Computes the input-gradient block of one `(batch, group)` unit —
+/// zeroing its own block first, so units are independent.
+fn grad_input_unit(
+    dy: &[f32],
+    w: &[f32],
+    dxg: &mut [f32],
+    spec: &Conv2dSpec,
+    g: &ConvGeom,
+    u: usize,
+) {
+    let (b, gi) = (u / spec.groups, u % spec.groups);
     let (cig, cog) = (g.cig(spec), g.cog(spec));
     let ckk = cig * spec.kernel * spec.kernel;
-    let (hw, ohow) = (g.h * g.w, g.oh * g.ow);
+    let ohow = g.oh * g.ow;
+    let dyg = &dy[(b * spec.out_channels + gi * cog) * ohow..][..cog * ohow];
+    let wg = &w[gi * cog * ckk..][..cog * ckk];
     if g.pointwise(spec) {
-        for b in 0..g.n {
-            for gi in 0..spec.groups {
-                let xg = &x[(b * spec.in_channels + gi * cig) * hw..][..cig * hw];
-                let wg = &w[gi * cog * ckk..][..cog * ckk];
-                let og = &mut out[(b * spec.out_channels + gi * cog) * ohow..][..cog * ohow];
-                gemm_strided(cog, ohow, ckk, wg, ckk, 1, xg, hw, 1, og, false);
-            }
-        }
-        return;
+        // dxg[ckk, hw] = W_gᵀ @ dy_g  (ckk == cig, hw == ohow here).
+        gemm_strided(ckk, ohow, cog, wg, 1, ckk, dyg, ohow, 1, dxg, false);
+    } else {
+        dxg.fill(0.0);
+        with_col_buffer(ckk * ohow, |dcol| {
+            gemm_strided(ckk, ohow, cog, wg, 1, ckk, dyg, ohow, 1, dcol, false);
+            col2im_add(dxg, dcol, spec, g);
+        });
     }
-    with_col_buffer(ckk * ohow, |col| {
-        for b in 0..g.n {
-            for gi in 0..spec.groups {
-                let xg = &x[(b * spec.in_channels + gi * cig) * hw..][..cig * hw];
-                im2col(col, xg, spec, g);
-                let wg = &w[gi * cog * ckk..][..cog * ckk];
-                let og = &mut out[(b * spec.out_channels + gi * cog) * ohow..][..cog * ohow];
-                gemm_strided(cog, ohow, ckk, wg, ckk, 1, col, ohow, 1, og, false);
-            }
-        }
-    });
 }
 
 /// Input gradient via GEMM + col2im. `dx` has shape `[n, ci, h, w]` and is
-/// fully overwritten.
+/// fully overwritten. Parallelizes over `(batch, group)` units exactly
+/// like [`conv2d_blocked`]; each unit's `dx` block (zero-fill, GEMM, and
+/// scatter-add) is owned end to end by one worker.
 pub(crate) fn conv2d_grad_input_blocked(
     dy: &[f32],
     w: &[f32],
@@ -198,31 +266,85 @@ pub(crate) fn conv2d_grad_input_blocked(
     spec: &Conv2dSpec,
     g: &ConvGeom,
 ) {
+    let block = g.cig(spec) * g.h * g.w;
+    let units = g.n * spec.groups;
+    if units >= 2 {
+        if let Some(pool) = parallel::active_pool() {
+            par_units(&pool, dx, block, |u0, chunk| {
+                for (i, dxg) in chunk.chunks_mut(block).enumerate() {
+                    grad_input_unit(dy, w, dxg, spec, g, u0 + i);
+                }
+            });
+            return;
+        }
+    }
+    for (u, dxg) in dx.chunks_mut(block).enumerate() {
+        grad_input_unit(dy, w, dxg, spec, g, u);
+    }
+}
+
+/// Accumulates the weight gradient of one group over every batch, in
+/// batch order, into its `dw` block (`dwg`, shape `[cog, ckk]`).
+fn grad_weight_group(
+    x: &[f32],
+    dy: &[f32],
+    dwg: &mut [f32],
+    spec: &Conv2dSpec,
+    g: &ConvGeom,
+    gi: usize,
+) {
     let (cig, cog) = (g.cig(spec), g.cog(spec));
     let ckk = cig * spec.kernel * spec.kernel;
     let (hw, ohow) = (g.h * g.w, g.oh * g.ow);
     if g.pointwise(spec) {
         for b in 0..g.n {
-            for gi in 0..spec.groups {
-                let dyg = &dy[(b * spec.out_channels + gi * cog) * ohow..][..cog * ohow];
-                let wg = &w[gi * cog * ckk..][..cog * ckk];
-                let dxg = &mut dx[(b * spec.in_channels + gi * cig) * hw..][..cig * hw];
-                // dxg[ckk, hw] = W_gᵀ @ dy_g  (ckk == cig, hw == ohow here).
-                gemm_strided(ckk, ohow, cog, wg, 1, ckk, dyg, ohow, 1, dxg, false);
-            }
+            let xg = &x[(b * spec.in_channels + gi * cig) * hw..][..cig * hw];
+            let dyg = &dy[(b * spec.out_channels + gi * cog) * ohow..][..cog * ohow];
+            // dW_g[cog, ckk] += dy_g[cog, ohow] @ xgᵀ[ohow, ckk].
+            gemm_strided(cog, ckk, ohow, dyg, ohow, 1, xg, 1, hw, dwg, true);
         }
         return;
     }
-    dx.fill(0.0);
-    with_col_buffer(ckk * ohow, |dcol| {
+    with_col_buffer(ckk * ohow, |col| {
         for b in 0..g.n {
-            for gi in 0..spec.groups {
-                let dyg = &dy[(b * spec.out_channels + gi * cog) * ohow..][..cog * ohow];
-                let wg = &w[gi * cog * ckk..][..cog * ckk];
-                gemm_strided(ckk, ohow, cog, wg, 1, ckk, dyg, ohow, 1, dcol, false);
-                let dxg = &mut dx[(b * spec.in_channels + gi * cig) * hw..][..cig * hw];
-                col2im_add(dxg, dcol, spec, g);
-            }
+            let xg = &x[(b * spec.in_channels + gi * cig) * hw..][..cig * hw];
+            im2col(col, xg, spec, g);
+            let dyg = &dy[(b * spec.out_channels + gi * cog) * ohow..][..cog * ohow];
+            gemm_strided(cog, ckk, ohow, dyg, ohow, 1, col, 1, ohow, dwg, true);
+        }
+    });
+}
+
+/// Accumulates rows `[r0, r0 + rows)` of a dense (`groups == 1`) weight
+/// gradient over every batch in batch order. Each band re-lowers the
+/// input per batch — duplicated im2col work, traded for keeping every
+/// `dW` element's whole accumulation chain on one worker.
+fn grad_weight_rows(
+    x: &[f32],
+    dy: &[f32],
+    dwband: &mut [f32],
+    spec: &Conv2dSpec,
+    g: &ConvGeom,
+    r0: usize,
+) {
+    let (cig, cog) = (g.cig(spec), g.cog(spec));
+    let ckk = cig * spec.kernel * spec.kernel;
+    let (hw, ohow) = (g.h * g.w, g.oh * g.ow);
+    let rows = dwband.len() / ckk;
+    if g.pointwise(spec) {
+        for b in 0..g.n {
+            let xg = &x[b * cig * hw..][..cig * hw];
+            let dyr = &dy[(b * cog + r0) * ohow..][..rows * ohow];
+            gemm_strided(rows, ckk, ohow, dyr, ohow, 1, xg, 1, hw, dwband, true);
+        }
+        return;
+    }
+    with_col_buffer(ckk * ohow, |col| {
+        for b in 0..g.n {
+            let xg = &x[b * cig * hw..][..cig * hw];
+            im2col(col, xg, spec, g);
+            let dyr = &dy[(b * cog + r0) * ohow..][..rows * ohow];
+            gemm_strided(rows, ckk, ohow, dyr, ohow, 1, col, 1, ohow, dwband, true);
         }
     });
 }
@@ -231,6 +353,13 @@ pub(crate) fn conv2d_grad_input_blocked(
 /// `[co, cig, k, k]`; contributions are summed over the batch in batch
 /// order (matching the naive kernel), starting from the zeros the caller
 /// provides.
+///
+/// `dW` accumulates *across* batches, so the batch axis cannot be split
+/// without reordering sums. Instead, an active pool splits the
+/// **output**: grouped convs parallelize over `dw`'s per-group blocks,
+/// dense convs over `dW` row bands ([`grad_weight_rows`]) — every `dW`
+/// element's accumulation chain stays on one worker, in batch order,
+/// keeping parallel results bitwise identical to serial ones.
 pub(crate) fn conv2d_grad_weight_blocked(
     x: &[f32],
     dy: &[f32],
@@ -240,30 +369,28 @@ pub(crate) fn conv2d_grad_weight_blocked(
 ) {
     let (cig, cog) = (g.cig(spec), g.cog(spec));
     let ckk = cig * spec.kernel * spec.kernel;
-    let (hw, ohow) = (g.h * g.w, g.oh * g.ow);
-    if g.pointwise(spec) {
-        for b in 0..g.n {
-            for gi in 0..spec.groups {
-                let xg = &x[(b * spec.in_channels + gi * cig) * hw..][..cig * hw];
-                let dyg = &dy[(b * spec.out_channels + gi * cog) * ohow..][..cog * ohow];
-                let dwg = &mut dw[gi * cog * ckk..][..cog * ckk];
-                // dW_g[cog, ckk] += dy_g[cog, ohow] @ xgᵀ[ohow, ckk].
-                gemm_strided(cog, ckk, ohow, dyg, ohow, 1, xg, 1, hw, dwg, true);
-            }
+    if let Some(pool) = parallel::active_pool() {
+        if spec.groups >= 2 {
+            par_units(&pool, dw, cog * ckk, |g0, chunk| {
+                for (i, dwg) in chunk.chunks_mut(cog * ckk).enumerate() {
+                    grad_weight_group(x, dy, dwg, spec, g, g0 + i);
+                }
+            });
+            return;
         }
-        return;
+        let band = cog.div_ceil(pool.size());
+        if band < cog {
+            pool.run_scope(|s| {
+                for (bi, dwband) in dw.chunks_mut(band * ckk).enumerate() {
+                    s.spawn(move || grad_weight_rows(x, dy, dwband, spec, g, bi * band));
+                }
+            });
+            return;
+        }
     }
-    with_col_buffer(ckk * ohow, |col| {
-        for b in 0..g.n {
-            for gi in 0..spec.groups {
-                let xg = &x[(b * spec.in_channels + gi * cig) * hw..][..cig * hw];
-                im2col(col, xg, spec, g);
-                let dyg = &dy[(b * spec.out_channels + gi * cog) * ohow..][..cog * ohow];
-                let dwg = &mut dw[gi * cog * ckk..][..cog * ckk];
-                gemm_strided(cog, ckk, ohow, dyg, ohow, 1, col, 1, ohow, dwg, true);
-            }
-        }
-    });
+    for (gi, dwg) in dw.chunks_mut(cog * ckk).enumerate() {
+        grad_weight_group(x, dy, dwg, spec, g, gi);
+    }
 }
 
 #[cfg(test)]

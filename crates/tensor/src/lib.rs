@@ -36,10 +36,12 @@ mod gemm;
 mod im2col;
 mod kernel;
 mod linalg;
+pub mod parallel;
 mod pool;
 mod rng;
 mod shape;
 mod shared;
+mod simd;
 mod tensor;
 
 pub use conv::{
@@ -55,6 +57,7 @@ pub use pool::{
 pub use rng::Rng64;
 pub use shape::Shape;
 pub use shared::SharedTensor;
+pub use simd::{resolve_simd_override, set_simd_tier, simd_tier, SimdTier};
 pub use tensor::Tensor;
 
 /// Crate-level result alias.

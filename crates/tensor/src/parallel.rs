@@ -1,0 +1,250 @@
+//! Pool plumbing for the parallel compute plane.
+//!
+//! The blocked kernels (`gemm`, `im2col`) decompose their work across a
+//! work-stealing [`crossbeam::pool::ThreadPool`] when one is *active* on
+//! the calling thread. Activity is resolved per call, in order:
+//!
+//! 1. the innermost [`install`]ed pool (the threaded executor installs a
+//!    per-device pool sized by `sched`'s stage widths, so stage
+//!    concurrency and intra-stage parallelism share one host budget);
+//! 2. else the process-global pool, sized by `PIPEBD_POOL` (panicking on
+//!    an unparsable value — mislabeled scaling artifacts must fail
+//!    loudly, like `PIPEBD_SIMD`) or the machine's available
+//!    parallelism. A budget of 1 means no pool is ever created — the
+//!    default on a single-vCPU host is exactly the old serial plane.
+//!
+//! A pool of size `w` is `w - 1` worker threads plus the kernel-calling
+//! thread, which helps execute tasks inside the scope. Installing a pool
+//! of size 1 forces serial execution regardless of the global default —
+//! that is how the determinism tests pin their baseline.
+//!
+//! **Determinism contract:** every parallel decomposition in this crate
+//! partitions the *output* so that each output element is produced, in
+//! full, by exactly one task — row/column bands of C for GEMM,
+//! `(batch, group)` blocks for the convolutions, `dW` row bands for the
+//! weight gradient — and each task runs the unchanged serial kernel over
+//! its partition. A float is never split across workers and partial sums
+//! are never combined across workers, so each output element's fma chain
+//! is the same instruction sequence the serial kernel executes, and
+//! parallel results are **bitwise identical** to serial results for
+//! every pool size. The `parallel_determinism` test battery asserts
+//! exactly this.
+
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::pool::{Scope, ThreadPool};
+
+/// A shareable handle to a work-stealing pool sized for kernel work.
+#[derive(Clone, Debug)]
+pub struct ComputePool {
+    inner: Arc<ThreadPool>,
+}
+
+impl ComputePool {
+    /// Creates a pool with `size` compute lanes (`size - 1` worker
+    /// threads; the kernel-calling thread is the last lane). `size <= 1`
+    /// spawns no threads and makes every kernel run serially.
+    pub fn new(size: usize) -> Self {
+        ComputePool {
+            inner: Arc::new(ThreadPool::new(size)),
+        }
+    }
+
+    /// Number of compute lanes.
+    pub fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    /// Runs `op` with a [`PoolScope`] for spawning kernel tasks; returns
+    /// after every spawned task has finished.
+    pub(crate) fn run_scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&PoolScope<'_, 'scope>) -> R,
+    {
+        self.inner.scope(|s| op(&PoolScope { inner: s }))
+    }
+}
+
+/// Scope handle passed to kernel decompositions; wraps the raw pool
+/// scope so every task body runs with the in-task marker set (a task
+/// that re-enters a parallel kernel entry runs it serially instead of
+/// nesting scopes).
+pub(crate) struct PoolScope<'a, 'scope> {
+    inner: &'a Scope<'scope>,
+}
+
+impl<'scope> PoolScope<'_, 'scope> {
+    /// Spawns one kernel task.
+    pub(crate) fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(move |_| {
+            // Restore on unwind too: the panic is caught by the pool and
+            // re-raised from `scope`, and this thread (a worker, or the
+            // caller helping inline) keeps running other work.
+            struct Reset(bool);
+            impl Drop for Reset {
+                fn drop(&mut self) {
+                    IN_POOL_TASK.with(|flag| flag.set(self.0));
+                }
+            }
+            let _reset = Reset(IN_POOL_TASK.with(|flag| flag.replace(true)));
+            f();
+        });
+    }
+}
+
+thread_local! {
+    /// Stack of [`install`]ed pools on this thread (innermost last).
+    static INSTALLED: RefCell<Vec<ComputePool>> = const { RefCell::new(Vec::new()) };
+    /// Set while a pool task body runs, to suppress nested decomposition.
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with `pool` as this thread's active compute pool (innermost
+/// wins; restored on exit, panic included).
+pub fn install<R>(pool: &ComputePool, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            INSTALLED.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    INSTALLED.with(|s| s.borrow_mut().push(pool.clone()));
+    let _guard = Guard;
+    f()
+}
+
+static GLOBAL: OnceLock<Option<ComputePool>> = OnceLock::new();
+
+/// The process-default pool budget: `PIPEBD_POOL` if set (panics on an
+/// unparsable or zero value — a silently mislabeled scaling run is worse
+/// than a crash), else the machine's available parallelism.
+pub fn default_pool_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| match std::env::var("PIPEBD_POOL") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("pipebd_tensor: invalid PIPEBD_POOL={v:?} (expected a positive integer)"),
+        },
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    })
+}
+
+/// The global pool, created lazily on first parallel kernel call; `None`
+/// when the default budget is 1 (no threads are ever spawned).
+fn global_pool() -> Option<ComputePool> {
+    GLOBAL
+        .get_or_init(|| {
+            let size = default_pool_size();
+            (size > 1).then(|| ComputePool::new(size))
+        })
+        .clone()
+}
+
+/// The pool a kernel on this thread should decompose onto, if any:
+/// `None` means run serially (no pool, a size-1 pool installed, or the
+/// caller is itself a pool task).
+pub(crate) fn active_pool() -> Option<ComputePool> {
+    if IN_POOL_TASK.with(Cell::get) {
+        return None;
+    }
+    let installed = INSTALLED.with(|s| s.borrow().last().cloned());
+    match installed {
+        Some(p) => (p.size() > 1).then_some(p),
+        None => global_pool(),
+    }
+}
+
+/// The parallel width kernels on this thread currently see (1 = serial).
+pub fn active_width() -> usize {
+    active_pool().map_or(1, |p| p.size())
+}
+
+/// Applies `f` to near-equal contiguous chunks of `data` in parallel,
+/// one chunk per pool lane, when a pool is active and the chunks would
+/// be at least `min_chunk` long; otherwise applies `f` to all of `data`
+/// on the calling thread.
+///
+/// Intended for *elementwise* maps (activations and the like): chunk
+/// boundaries must not affect the value any element receives, which
+/// keeps results bitwise identical to the serial application.
+pub fn for_each_chunk(data: &mut [f32], min_chunk: usize, f: impl Fn(&mut [f32]) + Send + Sync) {
+    let pool = active_pool();
+    let width = pool.as_ref().map_or(1, ComputePool::size);
+    let chunk = data.len().div_ceil(width.max(1)).max(min_chunk.max(1));
+    if width <= 1 || chunk >= data.len() {
+        f(data);
+        return;
+    }
+    let pool = pool.expect("width > 1 implies a pool");
+    let f = &f;
+    pool.run_scope(|s| {
+        for piece in data.chunks_mut(chunk) {
+            s.spawn(move || f(piece));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_stacks_and_restores() {
+        let serial = ComputePool::new(1);
+        let wide = ComputePool::new(3);
+        install(&wide, || {
+            assert_eq!(active_width(), 3);
+            install(&serial, || {
+                // Inner size-1 pool forces serial even under a wide one.
+                assert_eq!(active_width(), 1);
+                assert!(active_pool().is_none());
+            });
+            assert_eq!(active_width(), 3);
+        });
+    }
+
+    #[test]
+    fn tasks_see_serial_ambient() {
+        let wide = ComputePool::new(2);
+        install(&wide, || {
+            wide.run_scope(|s| {
+                s.spawn(|| {
+                    // A kernel called from inside a task must not nest.
+                    assert!(active_pool().is_none());
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn for_each_chunk_covers_every_element() {
+        let pool = ComputePool::new(4);
+        let mut data = vec![1.0f32; 1003];
+        install(&pool, || {
+            for_each_chunk(&mut data, 16, |chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1.0;
+                }
+            });
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn for_each_chunk_respects_min_chunk() {
+        let pool = ComputePool::new(4);
+        let mut data = vec![0.0f32; 8];
+        install(&pool, || {
+            // min_chunk larger than the data: must run as one piece.
+            for_each_chunk(&mut data, 64, |chunk| {
+                assert_eq!(chunk.len(), 8);
+            });
+        });
+    }
+}

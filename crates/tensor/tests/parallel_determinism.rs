@@ -1,0 +1,184 @@
+//! The parallel determinism battery: pooled blocked kernels must be
+//! **bitwise identical** to their serial runs.
+//!
+//! The parallel compute plane's contract (see `pipebd_tensor::parallel`)
+//! is that every decomposition partitions the *output*, each element is
+//! produced whole by one task running the unchanged serial kernel, and
+//! no partial sums ever cross workers — so pool size must not change a
+//! single bit. These properties sample GEMM shapes and convolution
+//! geometries (strides, paddings, dense/grouped/depthwise, non-square
+//! inputs) and compare every kernel under pools of {2, 4} lanes against
+//! the pinned-serial run (an installed size-1 pool). Equality is exact:
+//! `max_abs_diff == 0`, not a tolerance.
+
+use pipebd_tensor::parallel::{install, ComputePool};
+use pipebd_tensor::{
+    conv2d_grad_input_with, conv2d_grad_weight_with, conv2d_with, Conv2dSpec, KernelPolicy, Rng64,
+    Tensor,
+};
+use proptest::prelude::*;
+
+/// Runs `f` serially, then under each pooled width, and asserts the
+/// pooled results are bit-identical to the serial one.
+fn assert_pool_invariant(what: &str, f: impl Fn() -> Tensor) {
+    let serial = install(&ComputePool::new(1), &f);
+    for width in [2usize, 4] {
+        let pooled = install(&ComputePool::new(width), &f);
+        let diff = serial.max_abs_diff(&pooled).unwrap();
+        assert!(
+            diff == 0.0,
+            "{what}: pool size {width} diverged from serial by {diff}"
+        );
+    }
+}
+
+/// Samples a spec covering dense, grouped, and depthwise convolutions.
+fn spec_from(
+    gsel: usize,
+    cim: usize,
+    com: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+) -> Conv2dSpec {
+    let groups = match gsel {
+        0 => 1,
+        1 => 2,
+        _ => 2 * cim,
+    };
+    let (in_channels, out_channels) = if gsel == 2 {
+        (2 * cim, 2 * cim)
+    } else {
+        (groups * cim, groups * com)
+    };
+    Conv2dSpec {
+        in_channels,
+        out_channels,
+        kernel: k,
+        stride,
+        padding,
+        groups,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_gemm_is_bitwise_serial(
+        m in 1usize..80,
+        k in 1usize..48,
+        n in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        // Shapes straddle the row-band (MR=8) and column-band (NR=32)
+        // split thresholds, so small cases exercise the serial fallback
+        // and large ones both parallel decompositions.
+        let mut rng = Rng64::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        assert_pool_invariant("matmul", || {
+            a.matmul_with(&b, KernelPolicy::Blocked).unwrap()
+        });
+
+        // The transposed-operand entries drive the column-band path
+        // (tall outputs with few rows) and the accumulate path inside
+        // the adjoint kernels.
+        let at = Tensor::randn(&[k, m], &mut rng);
+        assert_pool_invariant("matmul_t_a", || {
+            at.matmul_t_a_with(&b, KernelPolicy::Blocked).unwrap()
+        });
+        let bt = Tensor::randn(&[n, k], &mut rng);
+        assert_pool_invariant("matmul_b_t", || {
+            a.matmul_b_t_with(&bt, KernelPolicy::Blocked).unwrap()
+        });
+    }
+
+    #[test]
+    fn parallel_conv_family_is_bitwise_serial(
+        gsel in 0usize..3,
+        cim in 1usize..4,
+        com in 1usize..4,
+        k in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..3,
+        n in 1usize..3,
+        h in 3usize..8,
+        w in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        let spec = spec_from(gsel, cim, com, k, stride, padding);
+        prop_assume!(h + 2 * padding >= k && w + 2 * padding >= k);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let x = Tensor::randn(&[n, spec.in_channels, h, w], &mut rng);
+        let wt = Tensor::randn(&spec.weight_dims(), &mut rng);
+        let y = assert_pool_invariant_ret("conv2d forward", || {
+            conv2d_with(&x, &wt, spec, KernelPolicy::Blocked).unwrap()
+        });
+
+        let dy = Tensor::randn(y.dims(), &mut rng);
+        assert_pool_invariant("conv2d grad input", || {
+            conv2d_grad_input_with(&dy, &wt, spec, (h, w), KernelPolicy::Blocked).unwrap()
+        });
+        assert_pool_invariant("conv2d grad weight", || {
+            conv2d_grad_weight_with(&x, &dy, spec, KernelPolicy::Blocked).unwrap()
+        });
+    }
+
+    #[test]
+    fn parallel_depthwise_is_bitwise_serial(
+        channels in 1usize..5,
+        k in 1usize..4,
+        stride in 1usize..4,
+        h in 3usize..7,
+        w in 3usize..7,
+        seed in any::<u64>(),
+    ) {
+        // Depthwise convs (groups == channels) split over the most
+        // (batch, group) units per output element — the decomposition
+        // with the highest task count relative to work.
+        let spec = Conv2dSpec::depthwise(channels, k, stride, k / 2);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let x = Tensor::randn(&[2, spec.in_channels, h, w], &mut rng);
+        let wt = Tensor::randn(&spec.weight_dims(), &mut rng);
+        let y = assert_pool_invariant_ret("depthwise forward", || {
+            conv2d_with(&x, &wt, spec, KernelPolicy::Blocked).unwrap()
+        });
+        let dy = Tensor::randn(y.dims(), &mut rng);
+        assert_pool_invariant("depthwise grad input", || {
+            conv2d_grad_input_with(&dy, &wt, spec, (h, w), KernelPolicy::Blocked).unwrap()
+        });
+        assert_pool_invariant("depthwise grad weight", || {
+            conv2d_grad_weight_with(&x, &dy, spec, KernelPolicy::Blocked).unwrap()
+        });
+    }
+}
+
+/// [`assert_pool_invariant`], returning the serial result for reuse.
+fn assert_pool_invariant_ret(what: &str, f: impl Fn() -> Tensor) -> Tensor {
+    let serial = install(&ComputePool::new(1), &f);
+    for width in [2usize, 4] {
+        let pooled = install(&ComputePool::new(width), &f);
+        let diff = serial.max_abs_diff(&pooled).unwrap();
+        assert!(
+            diff == 0.0,
+            "{what}: pool size {width} diverged from serial by {diff}"
+        );
+    }
+    serial
+}
+
+#[test]
+fn repeated_pooled_runs_are_bit_stable() {
+    // Determinism across *runs* at a fixed pool size: stealing order is
+    // nondeterministic, results must not be.
+    let mut rng = Rng64::seed_from_u64(99);
+    let a = Tensor::randn(&[64, 32], &mut rng);
+    let b = Tensor::randn(&[32, 64], &mut rng);
+    let pool = ComputePool::new(4);
+    let first = install(&pool, || a.matmul_with(&b, KernelPolicy::Blocked).unwrap());
+    for _ in 0..10 {
+        let again = install(&pool, || a.matmul_with(&b, KernelPolicy::Blocked).unwrap());
+        assert_eq!(first.max_abs_diff(&again).unwrap(), 0.0);
+    }
+}

@@ -151,6 +151,12 @@ fn exec_differential(s: &Scenario) -> Result<(f64, f64), String> {
         momentum: 0.9,
         plan: Some(plan),
         decoupled_updates: dpu,
+        // Both runs get the scenario's lane budget: the reference
+        // installs one pool of this size, the threaded executor divides
+        // it across device ranks. The determinism contract makes the
+        // parity assertion independent of the budget — which is exactly
+        // what the pool slice exists to prove.
+        pool_size: Some(s.pool_size),
     };
     let golden = reference::run(&teacher, &student, &data, &func)
         .map_err(|e| format!("reference run failed: {e}"))?;

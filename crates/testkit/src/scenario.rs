@@ -211,6 +211,13 @@ pub struct Scenario {
     /// Kernel policy label (`"naive"` or `"blocked"`); see
     /// [`Scenario::kernel_policy`].
     pub kernel_policy: String,
+    /// Host compute-lane budget for intra-stage kernel parallelism
+    /// (`FuncConfig::pool_size`). `1` pins every kernel serial — the
+    /// default for the classic slices, so their numbers cannot depend on
+    /// the machine. The pool slice sweeps `{2, 4}` and asserts the
+    /// tensor determinism contract end to end: pooled kernels must
+    /// reproduce the serial reference bitwise on width-1 plans.
+    pub pool_size: usize,
     /// Whether the executor differential's miniature models use batch
     /// norm (widened plans then assert the shard-statistics budget).
     pub batch_norm: bool,
@@ -370,7 +377,8 @@ pub struct ScenarioSet {
 impl ArtifactPayload for ScenarioSet {
     const SCHEMA: &'static str = "pipebd.scenario_set";
     // V2: scenarios carry the fault axis (`fault`) and `batch_norm`.
-    const VERSION: u32 = 2;
+    // V3: scenarios carry the kernel-parallelism axis (`pool_size`).
+    const VERSION: u32 = 3;
 }
 
 /// The model-shape axis: `(blocks, heavy_first, supernet_student)`.
@@ -594,6 +602,7 @@ pub fn enumerate() -> Vec<Scenario> {
                             subject,
                             kernel_policy: policy.to_string(),
                             batch_norm: false,
+                            pool_size: 1,
                             fault: None,
                         });
                     }
@@ -628,6 +637,7 @@ pub fn enumerate() -> Vec<Scenario> {
                     subject: ExecutorChoice::Threaded,
                     kernel_policy: "blocked".to_string(),
                     batch_norm: false,
+                    pool_size: 1,
                     fault: None,
                 });
             }
@@ -664,8 +674,58 @@ pub fn enumerate() -> Vec<Scenario> {
                     subject: ExecutorChoice::Threaded,
                     kernel_policy: "blocked".to_string(),
                     batch_norm: true,
+                    pool_size: 1,
                     fault: None,
                 });
+            }
+        }
+    }
+    // The pool slice: threaded-parity scenarios re-run with a real
+    // kernel-parallelism budget ({2, 4} compute lanes split across the
+    // device ranks). TR+DPU runs width-1 plans, so its parity stays
+    // *bitwise* — pooled blocked kernels must reproduce the serial
+    // reference bit for bit, the tensor determinism contract end to end;
+    // IR and the hybrid shape add batch-split plans on top. One kernel
+    // policy (pools only parallelize the blocked kernels) and the plain
+    // model family (the other slices sweep those axes at pool 1).
+    const POOL_STRATEGIES: [ConformanceStrategy; 3] = [
+        ConformanceStrategy::TrDpu,
+        ConformanceStrategy::TrIr,
+        ConformanceStrategy::Hybrid,
+    ];
+    for (blocks, heavy_first, supernet) in SHAPES {
+        for (ranks, exec_batch) in RANKS {
+            for strategy in POOL_STRATEGIES {
+                if needs_contiguous(strategy) && blocks < ranks {
+                    continue;
+                }
+                if strategy == ConformanceStrategy::Hybrid && ranks < 3 {
+                    continue;
+                }
+                for pool_size in [2usize, 4] {
+                    let id = format!(
+                        "syn{blocks}{}-r{ranks}-{strategy}-p{pool_size}",
+                        if heavy_first { "h" } else { "u" },
+                    );
+                    out.push(Scenario {
+                        seed: fnv1a(&id),
+                        id,
+                        blocks,
+                        heavy_first,
+                        sim_workload: SimWorkload::Synthetic,
+                        supernet,
+                        ranks,
+                        sim_batch: 256,
+                        exec_batch,
+                        exec_steps: 3,
+                        strategy,
+                        subject: ExecutorChoice::Threaded,
+                        kernel_policy: "blocked".to_string(),
+                        batch_norm: false,
+                        pool_size,
+                        fault: None,
+                    });
+                }
             }
         }
     }
@@ -713,6 +773,7 @@ pub fn enumerate() -> Vec<Scenario> {
                             subject: ExecutorChoice::Threaded,
                             kernel_policy: "blocked".to_string(),
                             batch_norm: false,
+                            pool_size: 1,
                             fault: Some(FaultCase {
                                 class,
                                 replan,
@@ -784,6 +845,20 @@ mod tests {
         assert!(all.iter().any(|s| s.heavy_first));
         assert!(all.iter().any(|s| s.ranks == 2) && all.iter().any(|s| s.ranks == 4));
         assert!(all.iter().any(|s| s.batch_norm), "batch-norm slice missing");
+        for pool in [1usize, 2, 4] {
+            assert!(
+                all.iter().any(|s| s.pool_size == pool),
+                "pool axis missing budget {pool}"
+            );
+        }
+        // The pool slice must include bitwise scenarios: width-1 plans
+        // under a real kernel-parallelism budget.
+        assert!(
+            all.iter().any(|s| s.pool_size > 1
+                && s.strategy == ConformanceStrategy::TrDpu
+                && s.exec_tolerance() == Ok(0.0)),
+            "no bitwise pooled scenario"
+        );
         for class in FaultClass::ALL {
             for replan in [true, false] {
                 let valid = replan || class == FaultClass::Slowdown;

@@ -67,6 +67,32 @@ fn one_fault_scenario_per_class_conforms() {
 }
 
 #[test]
+fn pooled_bitwise_scenarios_conform() {
+    // The pool slice's strongest claim, run for real in tier-1: width-1
+    // plans under a genuine kernel-parallelism budget must reproduce the
+    // serial reference *bitwise* (the tensor determinism contract, end
+    // to end through the executors). Pool scenarios declare the blocked
+    // policy, so the naive CI leg legitimately has none.
+    let pooled: Vec<Scenario> = ambient_scenarios()
+        .into_iter()
+        .filter(|s| s.pool_size > 1 && s.strategy == pipebd_testkit::ConformanceStrategy::TrDpu)
+        .collect();
+    if pooled.is_empty() {
+        return;
+    }
+    let book = ToleranceBook::gate_default();
+    for s in pooled {
+        let outcome = run_scenario(&s, &book);
+        assert!(outcome.pass, "{}: {}", outcome.id, outcome.detail);
+        assert_eq!(
+            outcome.max_param_diff, 0.0,
+            "{}: pooled width-1 plan must be bitwise",
+            outcome.id
+        );
+    }
+}
+
+#[test]
 #[ignore = "exhaustive ambient-policy sweep (~minutes in debug); the release-mode regression_gate CI lane covers the full matrix"]
 fn full_matrix_conforms_under_ambient_policy() {
     assert_all_pass(ambient_scenarios().into_iter());
@@ -125,4 +151,6 @@ fn matrix_meets_the_declared_floor() {
     assert!(faults >= 150, "fault slice shrank to {faults} scenarios");
     let bn = all.iter().filter(|s| s.batch_norm).count();
     assert!(bn >= 40, "batch-norm slice shrank to {bn} scenarios");
+    let pooled = all.iter().filter(|s| s.pool_size > 1).count();
+    assert!(pooled >= 30, "pool slice shrank to {pooled} scenarios");
 }

@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         momentum: 0.9,
         plan: None,
         decoupled_updates: true,
+        pool_size: None,
     };
     let golden = reference::run(&teacher, &student, &data, &base)?;
 

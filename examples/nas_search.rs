@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         momentum: 0.9,
         decoupled_updates: true,
         plan: None,
+        pool_size: None,
     };
     let outcome = threaded::run(&teacher, &supernet, &data, &func)?;
     println!("blockwise supernet search, 4 device threads, 40 steps");

@@ -146,6 +146,7 @@ fn run_scenario(budget: &Budget) {
         momentum: 0.9,
         plan: None,
         decoupled_updates: true,
+        pool_size: None,
     };
     let outcome = threaded::run(&teacher, &student, &data, &func).expect("distillation");
     for (i, losses) in outcome.losses.iter().enumerate() {

@@ -38,6 +38,7 @@ fn base_cfg() -> FuncConfig {
         momentum: 0.9,
         plan: None,
         decoupled_updates: true,
+        pool_size: None,
     }
 }
 
