@@ -1,0 +1,168 @@
+//! Durable checkpoint persistence: a [`CheckpointSink`] backed by the
+//! artifact store.
+//!
+//! The recovery plane's in-memory sink dies with the process; this one
+//! survives it. Each store round-trips the checkpoint through a
+//! schema-tagged `pipebd.checkpoint` envelope (bitwise, by the JSON
+//! crate's float round-trip contract), written atomically — a crash
+//! mid-save leaves the previous envelope intact, never a torn file. A
+//! file that *is* torn (truncated by an external crash, corrupted on
+//! disk) surfaces as a structured error from [`CheckpointStore::latest`],
+//! never a silent "no checkpoint": silently restarting from scratch when
+//! a checkpoint existed would discard training the operator paid for.
+
+use std::io;
+use std::path::PathBuf;
+
+use pipebd_core::{Checkpoint, CheckpointSink};
+
+use crate::{ArtifactError, ArtifactStore};
+
+/// A [`CheckpointSink`] that persists checkpoints as artifacts.
+///
+/// Keeps the highest-round checkpoint under one artifact name (decoupled
+/// pipelines complete rounds out of order, so stores can arrive stale).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    store: ArtifactStore,
+    name: String,
+}
+
+impl CheckpointStore {
+    /// A checkpoint store writing `<root>/<name>.json`.
+    pub fn at(root: impl Into<PathBuf>, name: impl Into<String>) -> Self {
+        CheckpointStore {
+            store: ArtifactStore::at(root),
+            name: name.into(),
+        }
+    }
+
+    /// A checkpoint store inside an existing artifact store.
+    pub fn in_store(store: ArtifactStore, name: impl Into<String>) -> Self {
+        CheckpointStore {
+            store,
+            name: name.into(),
+        }
+    }
+
+    /// The path the checkpoint lands at.
+    pub fn path(&self) -> PathBuf {
+        self.store.path_of(&self.name)
+    }
+
+    fn load_latest(&self) -> Result<Option<Checkpoint>, String> {
+        match self.store.load::<Checkpoint>(&self.name) {
+            Ok(ckpt) => Ok(Some(ckpt)),
+            // No file yet is the one benign miss: nothing was ever stored.
+            Err(ArtifactError::Io(e)) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            // Anything else — torn JSON, schema drift, read failure — is a
+            // hard error. A checkpoint existed; losing it must be loud.
+            Err(e) => Err(format!("checkpoint `{}`: {e}", self.name)),
+        }
+    }
+}
+
+impl CheckpointSink for CheckpointStore {
+    fn store(&self, checkpoint: &Checkpoint) -> Result<(), String> {
+        // Round-max semantics, matching the in-memory sink: never replace
+        // a newer checkpoint with a stale round. A torn incumbent is the
+        // exception — overwriting it with a valid envelope is the repair.
+        if let Ok(Some(existing)) = self.load_latest() {
+            if existing.round >= checkpoint.round {
+                return Ok(());
+            }
+        }
+        self.store
+            .save(&self.name, checkpoint)
+            .map(|_| ())
+            .map_err(|e| format!("checkpoint `{}`: {e}", self.name))
+    }
+
+    fn latest(&self) -> Result<Option<Checkpoint>, String> {
+        self.load_latest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipebd_core::BlockState;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("pipebd_ckpt_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    fn checkpoint(round: usize) -> Checkpoint {
+        Checkpoint {
+            round,
+            data_cursor: (round * 8) as u64,
+            batch: 8,
+            lr: 0.05,
+            momentum: 0.9,
+            blocks: vec![BlockState {
+                block: 0,
+                params: vec![],
+                velocities: vec![],
+                losses: vec![0.25; round],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrips_and_keeps_the_highest_round() {
+        let root = temp_root("roundtrip");
+        let sink = CheckpointStore::at(&root, "ckpt");
+        assert_eq!(sink.latest().unwrap(), None, "empty store has no latest");
+
+        sink.store(&checkpoint(4)).unwrap();
+        assert_eq!(sink.latest().unwrap().unwrap(), checkpoint(4));
+
+        // A stale round must not clobber the incumbent.
+        sink.store(&checkpoint(2)).unwrap();
+        assert_eq!(sink.latest().unwrap().unwrap().round, 4);
+
+        sink.store(&checkpoint(6)).unwrap();
+        assert_eq!(sink.latest().unwrap().unwrap(), checkpoint(6));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_file_is_a_hard_error_not_a_silent_miss() {
+        let root = temp_root("torn");
+        let sink = CheckpointStore::at(&root, "ckpt");
+        sink.store(&checkpoint(3)).unwrap();
+
+        // Simulate a crash that truncated the envelope mid-write (only
+        // possible through paths that bypass the atomic rename).
+        let text = std::fs::read_to_string(sink.path()).unwrap();
+        std::fs::write(sink.path(), &text[..text.len() / 2]).unwrap();
+
+        let err = sink.latest().unwrap_err();
+        assert!(
+            err.contains("ckpt"),
+            "torn-file error should name the checkpoint: {err}"
+        );
+
+        // Storing a fresh checkpoint repairs the torn incumbent.
+        sink.store(&checkpoint(1)).unwrap();
+        assert_eq!(sink.latest().unwrap().unwrap().round, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_sibling_behind() {
+        let root = temp_root("atomic");
+        let sink = CheckpointStore::at(&root, "ckpt");
+        sink.store(&checkpoint(5)).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "atomic save must not leave tmp files");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

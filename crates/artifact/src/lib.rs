@@ -25,9 +25,11 @@
 //! ([`ArtifactError::Schema`] / [`ArtifactError::Version`]) so a payload
 //! struct can only evolve together with a version bump.
 
+mod ckpt;
 mod payload;
 mod store;
 
+pub use ckpt::CheckpointStore;
 pub use payload::{
     machine_fingerprint, pooled_fingerprint, BenchDelta, BenchKernels, BenchRecord, BenchSuite,
     BenchTolerance, BlockCost, CostProfile, KernelComparison, RunSet, ScalingCurve, ScalingDelta,
@@ -35,7 +37,7 @@ pub use payload::{
 };
 pub use store::{ArtifactError, ArtifactMeta, ArtifactStore};
 
-use pipebd_core::RunReport;
+use pipebd_core::{Checkpoint, RunReport};
 use pipebd_sched::StagePlan;
 use serde::{de::DeserializeOwned, Serialize};
 
@@ -55,5 +57,10 @@ impl ArtifactPayload for RunReport {
 
 impl ArtifactPayload for StagePlan {
     const SCHEMA: &'static str = "pipebd.schedule_plan";
+    const VERSION: u32 = 1;
+}
+
+impl ArtifactPayload for Checkpoint {
+    const SCHEMA: &'static str = "pipebd.checkpoint";
     const VERSION: u32 = 1;
 }

@@ -137,6 +137,12 @@ impl ArtifactStore {
     /// The envelope is pretty-printed (artifacts are meant to be diffed
     /// and read in review) and ends with a newline.
     ///
+    /// The write is **atomic**: the envelope lands in a `.tmp` sibling
+    /// first and is renamed over the target, so a crash mid-save can
+    /// never leave a torn artifact — readers see the old envelope or the
+    /// new one, nothing in between. Transient filesystem errors
+    /// (interrupts and friends) are retried with a short backoff.
+    ///
     /// # Errors
     ///
     /// [`ArtifactError::Io`] on filesystem failures, [`ArtifactError::Json`]
@@ -160,11 +166,15 @@ impl ArtifactStore {
             ),
             ("payload".into(), payload_value),
         ]);
-        fs::create_dir_all(&self.root)?;
         let mut text = pipebd_json::to_string_pretty(&envelope)?;
         text.push('\n');
         let path = self.path_of(name);
-        fs::write(&path, text)?;
+        let tmp = self.root.join(format!("{name}.json.tmp"));
+        retrying(|| {
+            fs::create_dir_all(&self.root)?;
+            fs::write(&tmp, &text)?;
+            fs::rename(&tmp, &path)
+        })?;
         Ok(path)
     }
 
@@ -215,7 +225,8 @@ impl ArtifactStore {
     ///
     /// I/O, JSON, and [`ArtifactError::Malformed`] errors.
     pub fn load_raw(&self, name: &str) -> Result<(ArtifactMeta, Value), ArtifactError> {
-        let text = fs::read_to_string(self.path_of(name))?;
+        let path = self.path_of(name);
+        let text = retrying(|| fs::read_to_string(&path))?;
         let envelope = pipebd_json::parse(&text)?;
         let Value::Object(mut entries) = envelope else {
             return Err(ArtifactError::Malformed("envelope is not an object".into()));
@@ -310,4 +321,38 @@ fn unix_now_s() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs())
+}
+
+/// Attempts before [`retrying`] gives up and surfaces the error.
+const IO_ATTEMPTS: u32 = 3;
+
+/// Backoff slept after attempt `n` (scaled by `n`; deterministic).
+const IO_BACKOFF: std::time::Duration = std::time::Duration::from_millis(2);
+
+/// Runs a filesystem operation, retrying transient failures.
+///
+/// Interrupted syscalls and spurious sharing/timeout conditions get
+/// [`IO_ATTEMPTS`] tries with a short linear backoff; deterministic
+/// failures (missing file, permissions, full disk) surface immediately —
+/// retrying those only delays the caller's error handling.
+fn retrying<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < IO_ATTEMPTS && transient(&e) => {
+                std::thread::sleep(IO_BACKOFF * attempt);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Whether an I/O error is worth retrying.
+fn transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }

@@ -22,8 +22,11 @@
 //!   gate must flag it (and stay silent comparing curves to themselves).
 //!   Fault budgets: a replanned slowdown scenario must pass the declared
 //!   `ToleranceBook` and must *fail* once its fault-class budget is
-//!   sabotaged to an unsatisfiable window. Exit 0 iff every probe behaved
-//!   correctly both ways.
+//!   sabotaged to an unsatisfiable window. Recovery: a host-loss script
+//!   must kill and restore the threaded run bitwise under the declared
+//!   policy, fire a structured `RecoveryExhausted` under a sabotaged
+//!   zero-restore budget, and a torn checkpoint file must error loudly.
+//!   Exit 0 iff every probe behaved correctly both ways.
 //!
 //! Flags / environment:
 //!
@@ -333,6 +336,160 @@ fn fault_self_test() -> bool {
     true
 }
 
+/// Proves the recovery gate fires, both ways:
+///
+/// * a host-loss script under the *declared* recovery policy must kill
+///   and restore the threaded run and finish with a bitwise-identical
+///   model (the honest half);
+/// * the same script under a **sabotaged budget** (`max_restores = 0`,
+///   no fallback) must surface a structured
+///   [`ExecError::RecoveryExhausted`](pipebd_core::exec::ExecError) —
+///   never a hang or a silent pass;
+/// * a **torn checkpoint file** must make the durable sink's `latest()`
+///   return a hard error, never a silent "no checkpoint".
+fn recovery_self_test() -> bool {
+    use pipebd_core::exec::recovery::{RecoveryPolicy, RecoveryRunner};
+    use pipebd_core::exec::{ExecError, FuncConfig};
+    use pipebd_core::{CheckpointSink, MemorySink};
+    use pipebd_data::SyntheticImageDataset;
+    use pipebd_models::{mini_student_dsconv, mini_teacher, MiniConfig, Workload};
+    use pipebd_sim::{FaultEvent, FaultScript};
+    use pipebd_tensor::Rng64;
+    use std::sync::Arc;
+
+    let cfg = MiniConfig {
+        blocks: 4,
+        channels: 6,
+        batch_norm: false,
+    };
+    let mut rng = Rng64::seed_from_u64(23);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let student = mini_student_dsconv(cfg, &mut rng);
+    let data = SyntheticImageDataset::mini(64, 8, 4, 29);
+    let workload = Workload::synthetic(4, false);
+    let script = FaultScript {
+        events: vec![FaultEvent::HostLoss {
+            rank: 1,
+            at_step: 4,
+        }],
+    };
+    let func = FuncConfig {
+        devices: 2,
+        steps: 8,
+        batch: 8,
+        lr: 0.05,
+        momentum: 0.9,
+        plan: None,
+        decoupled_updates: true,
+        pool_size: Some(1),
+    };
+
+    // Honest half: declared policy → kill, restore, bitwise replay.
+    let honest = RecoveryRunner {
+        workload: &workload,
+        script: &script,
+        policy: RecoveryPolicy::default(),
+        sink: Arc::new(MemorySink::default()),
+    };
+    let report = match honest.run(&teacher, &student, &data, &func) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("recovery self-test FAILED: honest recovery run errored: {e}");
+            return false;
+        }
+    };
+    if report.restores == 0 && !report.fell_back {
+        eprintln!("recovery self-test FAILED: the host loss never exercised the protocol");
+        return false;
+    }
+    let golden = match pipebd_core::exec::reference::run(&teacher, &student, &data, &func) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("recovery self-test FAILED: reference run errored: {e}");
+            return false;
+        }
+    };
+    let diff = report.outcome.max_param_diff(&golden);
+    if diff != 0.0 {
+        eprintln!(
+            "recovery self-test FAILED: recovered width-1 run drifted {diff:e} from the uninterrupted reference"
+        );
+        return false;
+    }
+
+    // Sabotaged half: a zero restore budget with no fallback must fire
+    // the structured exhaustion error.
+    let sabotaged = RecoveryRunner {
+        workload: &workload,
+        script: &script,
+        policy: RecoveryPolicy {
+            max_restores: 0,
+            reference_fallback: false,
+            ..RecoveryPolicy::default()
+        },
+        sink: Arc::new(MemorySink::default()),
+    };
+    match sabotaged.run(&teacher, &student, &data, &func) {
+        Err(ExecError::RecoveryExhausted { attempts: 0 }) => {}
+        Err(e) => {
+            eprintln!("recovery self-test FAILED: sabotaged budget produced the wrong error: {e}");
+            return false;
+        }
+        Ok(_) => {
+            eprintln!(
+                "recovery self-test FAILED: a zero restore budget passed — the recovery gate never fires"
+            );
+            return false;
+        }
+    }
+
+    // Torn-checkpoint half: truncate a persisted envelope mid-file; the
+    // durable sink must error loudly instead of reporting "no checkpoint".
+    let root = std::env::temp_dir().join(format!("pipebd_gate_torn_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let ckpt_sink = pipebd_artifact::CheckpointStore::at(&root, "SELFTEST_ckpt");
+    let hooks = pipebd_core::exec::threaded::RunHooks {
+        driver: None,
+        resume: None,
+        checkpoint: Some((
+            pipebd_core::CheckpointPolicy::every(2),
+            Arc::new(ckpt_sink.clone()) as Arc<dyn CheckpointSink>,
+        )),
+    };
+    if let Err(e) =
+        pipebd_core::exec::threaded::run_hooked(&teacher, &student, &data, &func, &hooks)
+    {
+        eprintln!("recovery self-test FAILED: checkpointed healthy run errored: {e}");
+        return false;
+    }
+    let path = ckpt_sink.path();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "recovery self-test FAILED: no checkpoint landed at {}: {e}",
+                path.display()
+            );
+            return false;
+        }
+    };
+    std::fs::write(&path, &text[..text.len() / 2]).expect("torn fixture persists");
+    let torn_fired = ckpt_sink.latest().is_err();
+    let _ = std::fs::remove_dir_all(&root);
+    if !torn_fired {
+        eprintln!(
+            "recovery self-test FAILED: a torn checkpoint loaded silently — restores could lose paid-for training"
+        );
+        return false;
+    }
+
+    println!(
+        "recovery self-test: host loss killed and restored ({} restore(s), resumed rounds {:?}), replay bitwise; zero budget fired RecoveryExhausted; torn checkpoint errored loudly",
+        report.restores, report.resumed_rounds
+    );
+    true
+}
+
 /// Proves the perf gate fires: an injected baseline that makes the current
 /// run look 2× slower must produce regressions; the current run against
 /// itself must not.
@@ -518,10 +675,13 @@ fn main() {
         let perf_ok = self_test(&current_store, &baseline_store);
         let scaling_ok = scaling_self_test(&current_store, &baseline_store);
         let fault_ok = fault_self_test();
-        if !perf_ok || !scaling_ok || !fault_ok {
+        let recovery_ok = recovery_self_test();
+        if !perf_ok || !scaling_ok || !fault_ok || !recovery_ok {
             std::process::exit(1);
         }
-        println!("regression gate self-test passed (perf + thread-scaling + fault budgets)");
+        println!(
+            "regression gate self-test passed (perf + thread-scaling + fault budgets + recovery)"
+        );
         return;
     }
 

@@ -1,0 +1,245 @@
+//! Executor-level fault injection: the deterministic [`FaultDriver`].
+//!
+//! The simulator's `FaultScript`s perturb *when* work runs; the driver
+//! interprets the same scripts against the threaded executor's real
+//! worker threads:
+//!
+//! * **Slowdown windows** pause the covered rank's thread for a small
+//!   wall-clock interval each step — observable in timing, invisible in
+//!   results (the tensor determinism contract makes scheduling
+//!   result-free).
+//! * **Host loss** cancels the rank: the step check returns
+//!   [`FaultAction::Lost`], the worker returns a structured
+//!   [`ExecError::RankLost`], and a process-wide abort flag flips so
+//!   every surviving worker unblocks from its channel waits instead of
+//!   hanging on a peer that will never send.
+//! * **Loader slowdown** pauses stage-0 data loading the same way.
+//!
+//! Host *join* events are rejected at construction: the executor spawns a
+//! fixed thread set, so an elastic join is unrealizable (the simulator
+//! still models joins for timing). Non-decoupled configs are rejected
+//! too — a `Barrier` over a thread that will be cancelled is a deadlock
+//! by construction, and the recovery plane must never hang.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pipebd_sim::{FaultEvent, FaultScript};
+
+use super::ExecError;
+
+/// Wall-clock pause per unit of excess slowdown factor. Kept small: the
+/// pause must be observable enough to reorder decoupled workers without
+/// slowing the test matrix down.
+const PAUSE_PER_FACTOR: Duration = Duration::from_micros(300);
+
+/// How long a blocked worker sleeps between abort-flag polls. The compat
+/// channel has no `recv_timeout`, so cancellation is poll-based.
+pub(crate) const ABORT_POLL: Duration = Duration::from_micros(200);
+
+/// What a worker must do at the top of a training step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Proceed (any slowdown pause has already been served).
+    Continue,
+    /// The rank is lost from this step on: cancel in-flight work and
+    /// return [`ExecError::RankLost`].
+    Lost,
+}
+
+/// Deterministic interpreter of a [`FaultScript`] over executor threads.
+///
+/// One driver instance is shared (via `Arc`) by every worker of a run;
+/// it is the single source of truth for "has any rank died yet".
+#[derive(Debug)]
+pub struct FaultDriver {
+    script: FaultScript,
+    abort: AtomicBool,
+    /// Earliest observed loss as `(rank, step)`.
+    lost: Mutex<Option<(usize, usize)>>,
+}
+
+impl FaultDriver {
+    /// Builds a driver for `script` over `devices` ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Config`] when the script fails
+    /// [`FaultScript::validate`], contains a host join (the executor's
+    /// thread set is fixed), or `decoupled` is false (a barrier over a
+    /// cancellable thread deadlocks).
+    pub fn new(script: &FaultScript, devices: usize, decoupled: bool) -> Result<Self, ExecError> {
+        script
+            .validate(devices)
+            .map_err(|v| ExecError::Config(format!("fault script rejected: {v}")))?;
+        if let Some(FaultEvent::HostJoin { rank, at_step }) = script
+            .events
+            .iter()
+            .find(|e| matches!(e, FaultEvent::HostJoin { .. }))
+        {
+            return Err(ExecError::Config(format!(
+                "host join (rank {rank} at step {at_step}) is unrealizable: \
+                 the executor spawns a fixed thread set"
+            )));
+        }
+        if !decoupled && !script.is_healthy() {
+            return Err(ExecError::Config(
+                "fault injection requires decoupled updates: a barrier over a \
+                 cancellable thread deadlocks"
+                    .into(),
+            ));
+        }
+        Ok(FaultDriver {
+            script: script.clone(),
+            abort: AtomicBool::new(false),
+            lost: Mutex::new(None),
+        })
+    }
+
+    /// A driver with no perturbations (useful as a test control).
+    pub fn healthy() -> Self {
+        FaultDriver {
+            script: FaultScript::healthy(),
+            abort: AtomicBool::new(false),
+            lost: Mutex::new(None),
+        }
+    }
+
+    /// The script being interpreted.
+    pub fn script(&self) -> &FaultScript {
+        &self.script
+    }
+
+    /// Step gate for GPU `rank` entering training step `step`: serves the
+    /// rank's slowdown pause (wall-clock only) and reports losses.
+    pub fn before_step(&self, rank: usize, step: usize) -> FaultAction {
+        let step32 = step.min(u32::MAX as usize) as u32;
+        if !self.script.alive(rank, step32) {
+            self.record_loss(rank, step);
+            return FaultAction::Lost;
+        }
+        let factor = self.script.factor(rank, step32);
+        if factor > 1.0 {
+            std::thread::sleep(PAUSE_PER_FACTOR.mul_f64(factor - 1.0));
+        }
+        FaultAction::Continue
+    }
+
+    /// Loader gate for stage-0 members loading step `step`'s batch.
+    pub fn before_load(&self, step: usize) {
+        let factor = self
+            .script
+            .loader_factor(step.min(u32::MAX as usize) as u32);
+        if factor > 1.0 {
+            std::thread::sleep(PAUSE_PER_FACTOR.mul_f64(factor - 1.0));
+        }
+    }
+
+    /// Whether any rank has been lost (workers poll this in channel
+    /// waits to unblock instead of hanging).
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// The earliest recorded loss, as `(rank, step)`.
+    pub fn first_loss(&self) -> Option<(usize, usize)> {
+        *self.lost.lock().expect("fault driver lock")
+    }
+
+    /// The structured error every worker of an aborted run surfaces.
+    pub(crate) fn loss_error(&self) -> ExecError {
+        let (rank, step) = self.first_loss().unwrap_or((usize::MAX, 0));
+        ExecError::RankLost { rank, step }
+    }
+
+    fn record_loss(&self, rank: usize, step: usize) {
+        let mut lost = self.lost.lock().expect("fault driver lock");
+        if !matches!(*lost, Some((_, s)) if step >= s) {
+            *lost = Some((rank, step));
+        }
+        drop(lost);
+        self.abort.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loss_script(rank: usize, at_step: u32) -> FaultScript {
+        FaultScript {
+            events: vec![FaultEvent::HostLoss { rank, at_step }],
+        }
+    }
+
+    #[test]
+    fn rejects_joins_and_coupled_updates() {
+        let join = FaultScript {
+            events: vec![FaultEvent::HostJoin {
+                rank: 1,
+                at_step: 3,
+            }],
+        };
+        assert!(matches!(
+            FaultDriver::new(&join, 2, true),
+            Err(ExecError::Config(_))
+        ));
+        assert!(matches!(
+            FaultDriver::new(&loss_script(0, 2), 2, false),
+            Err(ExecError::Config(_))
+        ));
+        // A healthy script is fine even with a barrier.
+        FaultDriver::new(&FaultScript::healthy(), 2, false).expect("healthy + barrier ok");
+    }
+
+    #[test]
+    fn rejects_invalid_scripts() {
+        let overlap = FaultScript {
+            events: vec![
+                FaultEvent::Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 0,
+                    end_step: 5,
+                },
+                FaultEvent::Slowdown {
+                    rank: 0,
+                    factor: 3.0,
+                    start_step: 3,
+                    end_step: 8,
+                },
+            ],
+        };
+        assert!(matches!(
+            FaultDriver::new(&overlap, 2, true),
+            Err(ExecError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn loss_fires_exactly_at_its_step_and_sets_abort() {
+        let d = FaultDriver::new(&loss_script(1, 4), 2, true).unwrap();
+        assert_eq!(d.before_step(1, 3), FaultAction::Continue);
+        assert!(!d.aborted());
+        assert_eq!(d.before_step(1, 4), FaultAction::Lost);
+        assert!(d.aborted());
+        assert_eq!(d.first_loss(), Some((1, 4)));
+        // The surviving rank keeps stepping.
+        assert_eq!(d.before_step(0, 4), FaultAction::Continue);
+        // An earlier observation wins the record.
+        d.before_step(1, 4);
+        assert_eq!(d.first_loss(), Some((1, 4)));
+    }
+
+    #[test]
+    fn healthy_driver_never_aborts() {
+        let d = FaultDriver::healthy();
+        for step in 0..16 {
+            assert_eq!(d.before_step(0, step), FaultAction::Continue);
+            d.before_load(step);
+        }
+        assert!(!d.aborted());
+        assert!(d.first_loss().is_none());
+    }
+}

@@ -56,6 +56,8 @@
 //! [`SharedTensor`]: pipebd_tensor::SharedTensor
 //! [`SharedTensor::make_mut`]: pipebd_tensor::SharedTensor::make_mut
 
+pub mod fault;
+pub mod recovery;
 pub mod reference;
 pub mod threaded;
 
@@ -81,6 +83,22 @@ pub enum ExecError {
         /// Maximum absolute difference observed.
         diff: f32,
     },
+    /// A rank was cancelled mid-run by the fault driver. Structured —
+    /// never a hang: every surviving worker unblocks and surfaces this.
+    RankLost {
+        /// The lost GPU rank (logical device index of the failed run).
+        rank: usize,
+        /// The training step at which the rank died.
+        step: usize,
+    },
+    /// The recovery protocol exhausted its restore budget (and no
+    /// reference fallback was configured).
+    RecoveryExhausted {
+        /// Restore attempts consumed before giving up.
+        attempts: usize,
+    },
+    /// Checkpoint capture, persistence, or restore failed.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -92,6 +110,13 @@ impl std::fmt::Display for ExecError {
             ExecError::ReplicaDivergence { block, diff } => {
                 write!(f, "replicas of block {block} diverged by {diff}")
             }
+            ExecError::RankLost { rank, step } => {
+                write!(f, "rank {rank} lost at step {step}")
+            }
+            ExecError::RecoveryExhausted { attempts } => {
+                write!(f, "recovery exhausted after {attempts} restore attempts")
+            }
+            ExecError::Checkpoint(m) => write!(f, "checkpoint failure: {m}"),
         }
     }
 }

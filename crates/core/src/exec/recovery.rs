@@ -1,0 +1,252 @@
+//! The recovery protocol: checkpoint → replan → resume, with a bounded
+//! restore budget.
+//!
+//! [`RecoveryRunner::run`] drives the threaded executor under a fault
+//! script. On [`ExecError::RankLost`] it restores the latest checkpoint
+//! from the sink, snapshots the degraded cluster membership at the loss
+//! step, asks `pipebd_sched::replan` for a degraded plan over the
+//! survivors, projects the fault script onto them, and retries — up to
+//! `max_restores` times with a small deterministic backoff. Exhausting
+//! the budget degrades gracefully: either to the single-threaded
+//! reference executor (which cannot lose a rank) resuming from the last
+//! checkpoint, or to a clean [`ExecError::RecoveryExhausted`]. Never a
+//! deadlock — every abort path is structured.
+//!
+//! # Replay equivalence
+//!
+//! A recovered run trains the *same model* as an uninterrupted one:
+//!
+//! * **Width-1 plans** — bitwise. The checkpoint restores exactly the
+//!   state the uninterrupted run held at its round, remaining steps
+//!   replay the same per-index-deterministic batches, and the runner
+//!   never substitutes a batch-split plan for a split-free incumbent
+//!   (the contiguous fallback preserves width 1), so every float op
+//!   recurs in the same order on the same values.
+//! * **Batch-split plans** — shard-mean averaging reorders float
+//!   summation, so parity carries the usual accumulation-error budget
+//!   (the conformance plane's recovery tolerance), not bitwise equality.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pipebd_data::SyntheticImageDataset;
+use pipebd_models::Workload;
+use pipebd_nn::BlockNet;
+use pipebd_sched::replan::replan;
+use pipebd_sched::{DegradedServer, StagePlan};
+use pipebd_sim::{FaultScript, HardwareConfig};
+
+use super::fault::FaultDriver;
+use super::threaded::{self, RunHooks};
+use super::{reference, ExecError, FuncConfig, FuncOutcome};
+use crate::checkpoint::{Checkpoint, CheckpointPolicy, CheckpointSink};
+
+/// Bounds and knobs for the recovery protocol.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Rounds between checkpoints (`0` disables capture — a loss then
+    /// restarts training from scratch).
+    pub checkpoint_every: usize,
+    /// Maximum restore attempts before degrading to the fallback.
+    pub max_restores: usize,
+    /// Base backoff slept before restore attempt `n` (scaled by `n`,
+    /// deterministic — no jitter, nothing result-affecting).
+    pub backoff: Duration,
+    /// Whether budget exhaustion falls back to the reference executor
+    /// (`true`) or surfaces [`ExecError::RecoveryExhausted`] (`false`).
+    pub reference_fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            checkpoint_every: 2,
+            max_restores: 3,
+            backoff: Duration::from_millis(1),
+            reference_fallback: true,
+        }
+    }
+}
+
+/// What a recovered run did, alongside its outcome.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The trained result (same contract as a healthy run's outcome).
+    pub outcome: FuncOutcome,
+    /// Restore attempts consumed (0 = the run never lost a rank).
+    pub restores: usize,
+    /// The checkpoint round each restore resumed from (0 = restarted
+    /// from scratch because no checkpoint had been captured yet).
+    pub resumed_rounds: Vec<usize>,
+    /// Replanning passes performed (one per mid-run restore).
+    pub replans: usize,
+    /// Whether the run finished on the reference-executor fallback.
+    pub fell_back: bool,
+    /// Logical devices of the final (possibly degraded) configuration.
+    pub final_devices: usize,
+}
+
+/// Orchestrates threaded runs under a fault script with checkpoint
+/// /restore recovery (see the [module docs](self)).
+pub struct RecoveryRunner<'a> {
+    /// Cost-model description of the blocks (drives `replan`'s degraded
+    /// search; must describe the same block count as the networks).
+    pub workload: &'a Workload,
+    /// The fault script to execute under.
+    pub script: &'a FaultScript,
+    /// Restore budget and checkpoint cadence.
+    pub policy: RecoveryPolicy,
+    /// Where checkpoints go and restores come from.
+    pub sink: Arc<dyn CheckpointSink>,
+}
+
+impl RecoveryRunner<'_> {
+    /// Trains `student` against `teacher` under the fault script,
+    /// recovering from rank losses (see the [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Config`] for unrealizable scripts (host
+    /// joins, overlap violations, non-decoupled configs),
+    /// [`ExecError::RecoveryExhausted`] when the budget runs out with no
+    /// fallback configured, or any underlying executor error.
+    pub fn run(
+        &self,
+        teacher: &BlockNet,
+        student: &BlockNet,
+        data: &SyntheticImageDataset,
+        cfg: &FuncConfig,
+    ) -> Result<RecoveryReport, ExecError> {
+        let b = teacher.num_blocks();
+        if self.workload.num_blocks() != b {
+            return Err(ExecError::Config(format!(
+                "workload describes {} blocks, networks have {b}",
+                self.workload.num_blocks()
+            )));
+        }
+        let base_plan = match &cfg.plan {
+            Some(p) => p.clone(),
+            None => StagePlan::contiguous(b, cfg.devices)
+                .map_err(|e| ExecError::Config(e.to_string()))?,
+        };
+        // The replay-equivalence contract: a split-free incumbent must
+        // stay split-free through every replan, or bitwise parity dies.
+        let preserve_width1 = !base_plan.uses_batch_split();
+
+        let mut cfg = cfg.clone();
+        let mut script = self.script.clone();
+        let mut resume: Option<Arc<Checkpoint>> = None;
+        let mut restores = 0usize;
+        let mut resumed_rounds = Vec::new();
+        let mut replans = 0usize;
+
+        loop {
+            let driver = Arc::new(FaultDriver::new(
+                &script,
+                cfg.devices,
+                cfg.decoupled_updates,
+            )?);
+            let hooks = RunHooks {
+                driver: Some(driver),
+                resume: resume.clone(),
+                checkpoint: Some((
+                    CheckpointPolicy::every(self.policy.checkpoint_every),
+                    Arc::clone(&self.sink),
+                )),
+            };
+            match threaded::run_hooked(teacher, student, data, &cfg, &hooks) {
+                Ok(outcome) => {
+                    return Ok(RecoveryReport {
+                        outcome,
+                        restores,
+                        resumed_rounds,
+                        replans,
+                        fell_back: false,
+                        final_devices: cfg.devices,
+                    })
+                }
+                Err(ExecError::RankLost { rank: _, step }) => {
+                    restores += 1;
+                    if restores > self.policy.max_restores {
+                        return self.exhausted(
+                            teacher,
+                            student,
+                            data,
+                            &cfg,
+                            restores - 1,
+                            resumed_rounds,
+                            replans,
+                        );
+                    }
+                    // Deterministic bounded backoff before the attempt.
+                    std::thread::sleep(self.policy.backoff * restores as u32);
+
+                    // Degraded membership at the loss step, then a fresh
+                    // plan search over the survivors.
+                    let hw = HardwareConfig::a6000_server(cfg.devices);
+                    let server = DegradedServer::at_step(&hw, &script, step as u32)
+                        .map_err(|v| ExecError::Config(format!("replan: {v}")))?;
+                    let members = server.members.clone();
+                    let m = members.len();
+                    let decision = replan(self.workload, &server, cfg.batch);
+                    replans += 1;
+                    let mut plan = decision.plan;
+                    let indivisible = plan.stages.iter().any(|s| cfg.batch % s.width() != 0);
+                    if (preserve_width1 && plan.uses_batch_split()) || indivisible {
+                        plan = StagePlan::contiguous(b, m).map_err(|e| {
+                            ExecError::Config(format!(
+                                "no runnable degraded plan for {m} survivors: {e}"
+                            ))
+                        })?;
+                    }
+                    script = script.for_survivors(&members);
+                    cfg.devices = m;
+                    cfg.plan = Some(plan);
+                    resume = self
+                        .sink
+                        .latest()
+                        .map_err(ExecError::Checkpoint)?
+                        .map(Arc::new);
+                    resumed_rounds.push(resume.as_ref().map_or(0, |c| c.round));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Budget exhausted: reference fallback or a structured error.
+    #[allow(clippy::too_many_arguments)]
+    fn exhausted(
+        &self,
+        teacher: &BlockNet,
+        student: &BlockNet,
+        data: &SyntheticImageDataset,
+        cfg: &FuncConfig,
+        attempts: usize,
+        mut resumed_rounds: Vec<usize>,
+        replans: usize,
+    ) -> Result<RecoveryReport, ExecError> {
+        if !self.policy.reference_fallback {
+            return Err(ExecError::RecoveryExhausted { attempts });
+        }
+        let latest = self.sink.latest().map_err(ExecError::Checkpoint)?;
+        let outcome = match &latest {
+            Some(ckpt) => {
+                resumed_rounds.push(ckpt.round);
+                reference::resume(teacher, student, data, cfg, ckpt)?
+            }
+            None => {
+                resumed_rounds.push(0);
+                reference::run(teacher, student, data, cfg)?
+            }
+        };
+        Ok(RecoveryReport {
+            outcome,
+            restores: attempts,
+            resumed_rounds,
+            replans,
+            fell_back: true,
+            final_devices: 1,
+        })
+    }
+}

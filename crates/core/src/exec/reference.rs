@@ -11,7 +11,8 @@ use pipebd_nn::{mse_loss, BlockNet, Layer, Mode, Sgd};
 use pipebd_tensor::parallel::{self, ComputePool};
 use pipebd_tensor::TensorError;
 
-use super::{FuncConfig, FuncOutcome};
+use super::{ExecError, FuncConfig, FuncOutcome};
+use crate::checkpoint::{self, Checkpoint};
 
 /// Trains `student` against `teacher` sequentially: for every step, run
 /// the teacher forward once, then train each student block on its boundary
@@ -37,6 +38,41 @@ pub fn run(
     parallel::install(&pool, || run_serial_semantics(teacher, student, data, cfg))
 }
 
+/// Resumes the sequential semantics from a checkpoint: restores every
+/// block's parameters, velocities, and loss history, then trains steps
+/// `from.round..cfg.steps`. This is the recovery protocol's last-resort
+/// fallback when the threaded executor exhausts its restore budget — a
+/// single thread cannot lose a rank.
+///
+/// Bitwise equivalent to an uninterrupted [`run`]: the restored state is
+/// exactly what the uninterrupted run held after `from.round` steps, and
+/// the remaining steps replay the same per-index-deterministic batches.
+///
+/// # Errors
+///
+/// Returns [`ExecError::Checkpoint`] for a structurally mismatched
+/// checkpoint, or [`ExecError::Tensor`] for shape errors.
+pub fn resume(
+    teacher: &BlockNet,
+    student: &BlockNet,
+    data: &SyntheticImageDataset,
+    cfg: &FuncConfig,
+    from: &Checkpoint,
+) -> Result<FuncOutcome, ExecError> {
+    from.validate(teacher.num_blocks(), cfg.batch)
+        .map_err(ExecError::Checkpoint)?;
+    if from.round > cfg.steps {
+        return Err(ExecError::Checkpoint(format!(
+            "checkpoint round {} beyond the run's {} steps",
+            from.round, cfg.steps
+        )));
+    }
+    let pool = ComputePool::new(cfg.pool_budget());
+    parallel::install(&pool, || {
+        resume_serial_semantics(teacher, student, data, cfg, from)
+    })
+}
+
 fn run_serial_semantics(
     teacher: &BlockNet,
     student: &BlockNet,
@@ -50,8 +86,73 @@ fn run_serial_semantics(
         .map(|_| Sgd::new(cfg.lr, cfg.momentum, 0.0))
         .collect();
     let mut losses = vec![Vec::with_capacity(cfg.steps); b];
+    train_range(
+        &mut teacher,
+        &mut student,
+        &mut optims,
+        &mut losses,
+        data,
+        cfg,
+        0,
+    )?;
 
-    for step in 0..cfg.steps {
+    let params = (0..b)
+        .map(|i| pipebd_nn::snapshot_params(student.block_mut(i)))
+        .collect();
+    Ok(FuncOutcome { params, losses })
+}
+
+fn resume_serial_semantics(
+    teacher: &BlockNet,
+    student: &BlockNet,
+    data: &SyntheticImageDataset,
+    cfg: &FuncConfig,
+    from: &Checkpoint,
+) -> Result<FuncOutcome, ExecError> {
+    let mut teacher = teacher.clone();
+    let mut student = student.clone();
+    let b = teacher.num_blocks();
+    let mut optims: Vec<Sgd> = (0..b)
+        .map(|_| Sgd::new(cfg.lr, cfg.momentum, 0.0))
+        .collect();
+    let mut losses = vec![Vec::with_capacity(cfg.steps); b];
+    for i in 0..b {
+        let state = from
+            .block(i)
+            .ok_or_else(|| ExecError::Checkpoint(format!("missing block {i}")))?;
+        checkpoint::restore_block(student.block_mut(i), &mut optims[i], state)
+            .map_err(ExecError::Checkpoint)?;
+        losses[i] = state.losses.clone();
+    }
+    train_range(
+        &mut teacher,
+        &mut student,
+        &mut optims,
+        &mut losses,
+        data,
+        cfg,
+        from.round,
+    )?;
+
+    let params = (0..b)
+        .map(|i| pipebd_nn::snapshot_params(student.block_mut(i)))
+        .collect();
+    Ok(FuncOutcome { params, losses })
+}
+
+/// The shared training loop: steps `start..cfg.steps` of the sequential
+/// semantics (one teacher pass per step, per-block student updates).
+fn train_range(
+    teacher: &mut BlockNet,
+    student: &mut BlockNet,
+    optims: &mut [Sgd],
+    losses: &mut [Vec<f32>],
+    data: &SyntheticImageDataset,
+    cfg: &FuncConfig,
+    start: usize,
+) -> Result<(), TensorError> {
+    let b = teacher.num_blocks();
+    for step in start..cfg.steps {
         let (x, _labels) = data.batch(step as u64 * cfg.batch as u64, cfg.batch);
         // One teacher pass, tapping every boundary (no redundancy in the
         // math; redundancy is purely a scheduling artifact).
@@ -66,11 +167,7 @@ fn run_serial_semantics(
             losses[i].push(loss.loss);
         }
     }
-
-    let params = (0..b)
-        .map(|i| pipebd_nn::snapshot_params(student.block_mut(i)))
-        .collect();
-    Ok(FuncOutcome { params, losses })
+    Ok(())
 }
 
 #[cfg(test)]

@@ -34,17 +34,46 @@
 //! Stage replicas are verified to remain bitwise identical after gradient
 //! averaging — divergence is reported as an error.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use pipebd_data::SyntheticImageDataset;
 use pipebd_nn::{mse_loss, Block, BlockNet, Layer, Mode, Sgd};
 use pipebd_sched::StagePlan;
 use pipebd_tensor::parallel::{self, ComputePool};
 use pipebd_tensor::{SharedTensor, Tensor};
 
+use super::fault::{FaultAction, FaultDriver, ABORT_POLL};
 pub use super::ExecError;
 use super::{FuncConfig, FuncOutcome};
+use crate::checkpoint::{self, BlockState, Checkpoint, CheckpointPolicy, CheckpointSink};
+
+/// Optional instrumentation for a threaded run: fault injection, a resume
+/// point, and checkpoint capture. [`run`] uses the empty default; the
+/// recovery protocol ([`super::recovery`]) wires all three.
+#[derive(Default)]
+pub struct RunHooks {
+    /// Fault driver interpreting a `FaultScript` against the workers.
+    pub driver: Option<Arc<FaultDriver>>,
+    /// Checkpoint to resume from (training replays steps
+    /// `resume.round..cfg.steps`; the data cursor follows the global step
+    /// index automatically).
+    pub resume: Option<Arc<Checkpoint>>,
+    /// Round-interval checkpoint capture into a sink.
+    pub checkpoint: Option<(CheckpointPolicy, Arc<dyn CheckpointSink>)>,
+}
+
+/// A per-round checkpoint fragment: one block's state, sent by the
+/// stage's member 0 to the assembly loop on the coordinating thread.
+type CkptFrag = (usize, BlockState);
+
+/// What each worker thread needs of the hooks.
+struct WorkerHooks {
+    driver: Option<Arc<FaultDriver>>,
+    resume: Option<Arc<Checkpoint>>,
+    ckpt: Option<(CheckpointPolicy, Sender<CkptFrag>)>,
+}
 
 /// A relayed activation: the sending member's index and its batch shard,
 /// shared by handle (sending is a refcount bump, not a copy).
@@ -92,6 +121,28 @@ pub fn run(
     data: &SyntheticImageDataset,
     cfg: &FuncConfig,
 ) -> Result<FuncOutcome, ExecError> {
+    run_hooked(teacher, student, data, cfg, &RunHooks::default())
+}
+
+/// [`run`] with instrumentation: fault injection, checkpoint capture,
+/// and resume-from-checkpoint (see [`RunHooks`]).
+///
+/// With a fault driver installed, a host loss never hangs: the lost
+/// worker returns [`ExecError::RankLost`] and every surviving worker
+/// unblocks from its channel waits via the driver's abort flag and
+/// surfaces the same structured error.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] for invalid configurations, tensor failures,
+/// worker panics, replica divergence, rank loss, or checkpoint failures.
+pub fn run_hooked(
+    teacher: &BlockNet,
+    student: &BlockNet,
+    data: &SyntheticImageDataset,
+    cfg: &FuncConfig,
+    hooks: &RunHooks,
+) -> Result<FuncOutcome, ExecError> {
     let b = teacher.num_blocks();
     if student.num_blocks() != b {
         return Err(ExecError::Config(format!(
@@ -119,6 +170,15 @@ pub fn run(
                 "batch {} not divisible by stage width {}",
                 cfg.batch,
                 s.width()
+            )));
+        }
+    }
+    if let Some(ckpt) = &hooks.resume {
+        ckpt.validate(b, cfg.batch).map_err(ExecError::Checkpoint)?;
+        if ckpt.round > cfg.steps {
+            return Err(ExecError::Checkpoint(format!(
+                "checkpoint round {} beyond the run's {} steps",
+                ckpt.round, cfg.steps
             )));
         }
     }
@@ -195,32 +255,99 @@ pub fn run(
     // wall-clock only, never a bit of the result.
     let intra_widths = plan.intra_pool_widths(cfg.pool_budget());
 
+    // Checkpoint fabric: member-0 workers stream per-block fragments to
+    // this thread, which assembles complete rounds and stores them. The
+    // sender clones live in the workers; once they all exit, `recv`
+    // disconnects and the assembly loop ends — no polling needed.
+    let ckpt_channel = hooks.checkpoint.as_ref().map(|_| unbounded::<CkptFrag>());
+
     let mut handles = Vec::with_capacity(roles.len());
     for role in roles {
         let barrier = Arc::clone(&barrier);
         let data = Arc::clone(&data);
         let cfg = Arc::clone(&cfg_arc);
         let pool = ComputePool::new(intra_widths[role.device]);
+        let wh = WorkerHooks {
+            driver: hooks.driver.clone(),
+            resume: hooks.resume.clone(),
+            ckpt: hooks.checkpoint.as_ref().map(|(policy, _)| {
+                let (tx, _) = ckpt_channel.as_ref().expect("channel exists");
+                (*policy, tx.clone())
+            }),
+        };
         handles.push(std::thread::spawn(move || {
-            parallel::install(&pool, || worker(role, barrier, data, cfg))
+            parallel::install(&pool, || worker(role, barrier, data, cfg, wh))
         }));
     }
 
+    // Assemble checkpoints while the workers run. A round is stored the
+    // moment its last block fragment arrives; rounds can complete out of
+    // order under decoupled updates, so sinks keep the max round. Blocks
+    // reaching round r at different wall-clock times is fine: the
+    // per-block objective is schedule-independent, so the assembled state
+    // equals the sequential reference after r steps, bit for bit.
+    let mut ckpt_err: Option<String> = None;
+    if let Some((tx, rx)) = ckpt_channel {
+        drop(tx);
+        let sink = &hooks.checkpoint.as_ref().expect("checkpoint configured").1;
+        let mut pending: HashMap<usize, Vec<BlockState>> = HashMap::new();
+        while let Ok((round, state)) = rx.recv() {
+            let entry = pending.entry(round).or_default();
+            entry.push(state);
+            if entry.len() == b {
+                let mut blocks = pending.remove(&round).expect("entry exists");
+                blocks.sort_by_key(|s| s.block);
+                let ckpt = Checkpoint {
+                    round,
+                    data_cursor: round as u64 * cfg.batch as u64,
+                    batch: cfg.batch,
+                    lr: cfg.lr,
+                    momentum: cfg.momentum,
+                    blocks,
+                };
+                if ckpt_err.is_none() {
+                    if let Err(e) = sink.store(&ckpt) {
+                        ckpt_err = Some(e);
+                    }
+                }
+            }
+        }
+    }
+
     // Collect per-device results: (first_block, member, params, losses).
+    // Join everything before deciding the error so a rank loss is
+    // reported as the structured `RankLost` rather than whichever
+    // secondary hangup a surviving worker observed first.
     let mut by_block: Vec<Option<Vec<Tensor>>> = vec![None; b];
     let mut losses_by_block: Vec<Option<Vec<f32>>> = vec![None; b];
     let mut replicas: Vec<Vec<(usize, Vec<Tensor>)>> = vec![Vec::new(); b];
+    let mut errors: Vec<ExecError> = Vec::new();
     for h in handles {
-        let out = h
+        match h
             .join()
-            .map_err(|p| ExecError::WorkerPanic(format!("{p:?}")))??;
-        for (block, member, params, losses) in out {
-            replicas[block].push((member, params.clone()));
-            if member == 0 {
-                by_block[block] = Some(params);
-                losses_by_block[block] = Some(losses);
+            .map_err(|p| ExecError::WorkerPanic(format!("{p:?}")))?
+        {
+            Err(e) => errors.push(e),
+            Ok(out) => {
+                for (block, member, params, losses) in out {
+                    replicas[block].push((member, params.clone()));
+                    if member == 0 {
+                        by_block[block] = Some(params);
+                        losses_by_block[block] = Some(losses);
+                    }
+                }
             }
         }
+    }
+    if !errors.is_empty() {
+        let idx = errors
+            .iter()
+            .position(|e| matches!(e, ExecError::RankLost { .. }))
+            .unwrap_or(0);
+        return Err(errors.swap_remove(idx));
+    }
+    if let Some(e) = ckpt_err {
+        return Err(ExecError::Checkpoint(e));
     }
 
     // Replica parity: every member of a widened stage must hold identical
@@ -260,12 +387,29 @@ fn worker(
     barrier: Arc<Barrier>,
     data: Arc<SyntheticImageDataset>,
     cfg: Arc<FuncConfig>,
+    hooks: WorkerHooks,
 ) -> Result<WorkerOut, ExecError> {
     let num_blocks = role.teacher_blocks.len();
     let mut optims: Vec<Sgd> = (0..num_blocks)
         .map(|_| Sgd::new(cfg.lr, cfg.momentum, 0.0))
         .collect();
     let mut losses: Vec<Vec<f32>> = vec![Vec::with_capacity(cfg.steps); num_blocks];
+    // Resume: reinstall the checkpointed parameters, velocities, and loss
+    // history, then continue from the checkpoint round. Every replica
+    // restores the same state (replicas are bitwise identical after
+    // averaged updates, so the captured state is theirs too).
+    let start = hooks.resume.as_ref().map_or(0, |c| c.round);
+    if let Some(ckpt) = &hooks.resume {
+        for (i, s) in role.student_blocks.iter_mut().enumerate() {
+            let block = role.first_block + i;
+            let state = ckpt
+                .block(block)
+                .ok_or_else(|| ExecError::Checkpoint(format!("missing block {block}")))?;
+            checkpoint::restore_block(s, &mut optims[i], state).map_err(ExecError::Checkpoint)?;
+            losses[i] = state.losses.clone();
+        }
+    }
+    let driver = hooks.driver.as_deref();
     // Out-of-order relay buffering: with decoupled updates a fast upstream
     // member may deliver step s+1 before a slow one delivers step s. Each
     // sender's channel order is its step order, so one FIFO per upstream
@@ -273,9 +417,22 @@ fn worker(
     let mut shard_queues: Vec<std::collections::VecDeque<SharedTensor>> =
         vec![std::collections::VecDeque::new(); role.prev_width];
 
-    for step in 0..cfg.steps {
+    for step in start..cfg.steps {
+        // (0) Fault gate: serve this rank's slowdown pause, or die.
+        if let Some(d) = driver {
+            if d.before_step(role.device, step) == FaultAction::Lost {
+                return Err(ExecError::RankLost {
+                    rank: role.device,
+                    step,
+                });
+            }
+        }
+
         // (1) Input: load data (stage 0) or receive the relayed activation.
         let input: SharedTensor = if role.stage_index == 0 {
+            if let Some(d) = driver {
+                d.before_load(step);
+            }
             // Sample generation is per-index deterministic, so each member
             // materializes exactly its own shard — identical values to
             // splitting a full batch (widths divide the batch), without
@@ -286,7 +443,7 @@ fn worker(
             SharedTensor::new(x)
         } else {
             let rx = role.input_rx.as_ref().expect("non-first stage receives");
-            let prev_shards = receive_full_batch(rx, &mut shard_queues)?;
+            let prev_shards = receive_full_batch(rx, &mut shard_queues, driver)?;
             reshard(prev_shards, role.width, role.member)?
         };
 
@@ -302,7 +459,7 @@ fn worker(
         // Relay the final boundary to every member of the next stage.
         for tx in &role.output_tx {
             tx.send((role.member, cur.clone()))
-                .map_err(|_| ExecError::Config("next stage hung up".into()))?;
+                .map_err(|_| hangup(driver, "next stage"))?;
         }
 
         // (3) Students forward/backward (lines 12–13).
@@ -317,7 +474,7 @@ fn worker(
 
         // (4) Gradient sharing within a widened stage (line 14).
         if role.width > 1 {
-            share_gradients(&mut role, &mut step_losses)?;
+            share_gradients(&mut role, &mut step_losses, driver)?;
         }
 
         // (5) Barrier unless decoupled (line 15).
@@ -330,6 +487,27 @@ fn worker(
             optims[i].step(s)?;
             pipebd_nn::zero_grad(s);
             losses[i].push(step_losses[i]);
+        }
+
+        // (7) Checkpoint capture at round boundaries. Member 0 streams
+        // its blocks' state to the assembly loop; replicas hold bitwise
+        // identical state, so one capture per block suffices.
+        if role.member == 0 {
+            if let Some((policy, tx)) = &hooks.ckpt {
+                let done = step + 1;
+                if policy.due(done, cfg.steps) {
+                    for (i, s) in role.student_blocks.iter_mut().enumerate() {
+                        let state = checkpoint::capture_block(
+                            s,
+                            role.first_block + i,
+                            &optims[i],
+                            &losses[i],
+                        );
+                        tx.send((done, state))
+                            .map_err(|_| ExecError::Checkpoint("assembly loop hung up".into()))?;
+                    }
+                }
+            }
         }
     }
 
@@ -352,16 +530,58 @@ fn worker(
     Ok(out)
 }
 
+/// Receives from `rx`, unblocking on the fault driver's abort flag.
+///
+/// The compat channel has no `recv_timeout`, so cancellation is a
+/// `try_recv` poll loop: when a rank dies, every peer blocked on a
+/// channel that will never deliver observes the abort flag within one
+/// poll interval and surfaces the structured loss error instead of
+/// hanging forever.
+fn recv_or_abort<T>(
+    rx: &Receiver<T>,
+    driver: Option<&FaultDriver>,
+    what: &str,
+) -> Result<T, ExecError> {
+    let Some(d) = driver else {
+        return rx
+            .recv()
+            .map_err(|_| ExecError::Config(format!("{what} hung up")));
+    };
+    loop {
+        match rx.try_recv() {
+            Ok(v) => return Ok(v),
+            Err(TryRecvError::Disconnected) => return Err(hangup(driver, what)),
+            Err(TryRecvError::Empty) => {
+                if d.aborted() {
+                    return Err(d.loss_error());
+                }
+                std::thread::sleep(ABORT_POLL);
+            }
+        }
+    }
+}
+
+/// The error for a dropped channel peer: a recorded rank loss if the
+/// fault driver saw one (the hangup is secondary damage), else a plain
+/// config error.
+fn hangup(driver: Option<&FaultDriver>, what: &str) -> ExecError {
+    if let Some(d) = driver {
+        if d.aborted() {
+            return d.loss_error();
+        }
+    }
+    ExecError::Config(format!("{what} hung up"))
+}
+
 /// Receives until every upstream member has a queued shard for the current
 /// step, then pops one shard per member, ordered by member index.
 fn receive_full_batch(
     rx: &Receiver<Shard>,
     queues: &mut [std::collections::VecDeque<SharedTensor>],
+    driver: Option<&FaultDriver>,
 ) -> Result<Vec<SharedTensor>, ExecError> {
     while queues.iter().any(std::collections::VecDeque::is_empty) {
-        let (member, shard) = rx
-            .recv()
-            .map_err(|_| ExecError::Config("previous stage hung up".into()))?;
+        let (member, shard) = recv_or_abort(rx, driver, "previous stage")?;
         queues
             .get_mut(member)
             .ok_or_else(|| ExecError::Config(format!("unknown upstream member {member}")))?
@@ -406,7 +626,11 @@ fn reshard(
     Ok(SharedTensor::new(shards.swap_remove(member)))
 }
 
-fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(), ExecError> {
+fn share_gradients(
+    role: &mut DeviceRole,
+    step_losses: &mut [f32],
+    driver: Option<&FaultDriver>,
+) -> Result<(), ExecError> {
     // Move the local gradients out of the params: they are about to be
     // replaced by the averaged bundle, so the gather can transfer
     // ownership through the channel instead of copying buffers. The next
@@ -428,9 +652,7 @@ fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(),
         let mut contributions: Vec<Option<(Vec<Vec<Tensor>>, Vec<f32>)>> = vec![None; role.width];
         contributions[0] = Some((local, step_losses.to_vec()));
         for _ in 1..role.width {
-            let (member, grads, l) = rx
-                .recv()
-                .map_err(|_| ExecError::Config("gradient gather hung up".into()))?;
+            let (member, grads, l) = recv_or_abort(rx, driver, "gradient gather")?;
             contributions[member] = Some((grads, l));
         }
         // Fold the average into the first contribution's buffers — the
@@ -467,27 +689,25 @@ fn share_gradients(role: &mut DeviceRole, step_losses: &mut [f32]) -> Result<(),
         );
         for tx in &role.grad_broadcast_tx {
             tx.send(bundle.clone())
-                .map_err(|_| ExecError::Config("gradient broadcast hung up".into()))?;
+                .map_err(|_| hangup(driver, "gradient broadcast"))?;
         }
         let rx = role
             .grad_broadcast_rx
             .as_ref()
             .expect("leader also receives its broadcast");
-        rx.recv()
-            .map_err(|_| ExecError::Config("broadcast loopback hung up".into()))?
+        recv_or_abort(rx, driver, "broadcast loopback")?
     } else {
         let tx = role
             .grad_to_leader
             .as_ref()
             .expect("members have a gather channel");
         tx.send((role.member, local, step_losses.to_vec()))
-            .map_err(|_| ExecError::Config("gradient gather hung up".into()))?;
+            .map_err(|_| hangup(driver, "gradient gather"))?;
         let rx = role
             .grad_broadcast_rx
             .as_ref()
             .expect("members receive the broadcast");
-        rx.recv()
-            .map_err(|_| ExecError::Config("gradient broadcast hung up".into()))?
+        recv_or_abort(rx, driver, "gradient broadcast")?
     };
 
     // Install the averaged gradients as shared handles — a refcount bump

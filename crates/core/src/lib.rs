@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod exec;
 mod experiment;
 pub mod lower;
@@ -33,6 +34,7 @@ mod memory;
 mod report;
 mod strategy;
 
+pub use checkpoint::{BlockState, Checkpoint, CheckpointPolicy, CheckpointSink, MemorySink};
 pub use exec::{Executor, ExecutorChoice};
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentError};
 pub use memory::memory_per_rank;

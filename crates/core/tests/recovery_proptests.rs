@@ -1,0 +1,183 @@
+//! Property-based tests for the recovery plane: checkpoints round-trip
+//! bitwise through JSON under *any* strategy and pool size, restore
+//! attempts never exceed the configured budget, and a healthy fault
+//! script never triggers the recovery machinery at all.
+
+use std::sync::Arc;
+
+use pipebd_core::exec::recovery::{RecoveryPolicy, RecoveryRunner};
+use pipebd_core::exec::threaded::{self, RunHooks};
+use pipebd_core::exec::{reference, FuncConfig};
+use pipebd_core::{Checkpoint, CheckpointPolicy, CheckpointSink, MemorySink};
+use pipebd_data::SyntheticImageDataset;
+use pipebd_models::{mini_student_dsconv, mini_teacher, MiniConfig, Workload};
+use pipebd_sched::StagePlan;
+use pipebd_sim::{FaultEvent, FaultScript};
+use pipebd_tensor::Rng64;
+use proptest::prelude::*;
+
+const BLOCKS: usize = 4;
+const BATCH: usize = 8;
+
+fn nets(
+    seed: u64,
+) -> (
+    pipebd_nn::BlockNet,
+    pipebd_nn::BlockNet,
+    SyntheticImageDataset,
+) {
+    let cfg = MiniConfig {
+        blocks: BLOCKS,
+        channels: 4,
+        batch_norm: false,
+    };
+    let mut rng = Rng64::seed_from_u64(seed);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let student = mini_student_dsconv(cfg, &mut rng);
+    let data = SyntheticImageDataset::mini(64, BATCH, 4, seed.rotate_left(17));
+    (teacher, student, data)
+}
+
+/// Any valid hybrid plan for 4 blocks on up to 4 devices whose widths
+/// divide the batch — the full strategy space (TR, DPU, IR, hybrids).
+fn plan_strategy() -> impl Strategy<Value = StagePlan> {
+    let all: Vec<StagePlan> = pipebd_sched::enumerate_hybrid_plans(BLOCKS, 4)
+        .into_iter()
+        .filter(|p| p.stages.iter().all(|s| BATCH % s.width() == 0))
+        .collect();
+    let len = all.len();
+    (0..len).prop_map(move |i| all[i].clone())
+}
+
+proptest! {
+    // Every case trains at least one model; keep the counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any strategy, pool size, and update mode, a captured
+    /// checkpoint survives the JSON round-trip bit for bit.
+    #[test]
+    fn checkpoint_roundtrips_bitwise_across_strategies_and_pools(
+        plan in plan_strategy(),
+        pool_idx in 0usize..3,
+        dpu in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        let (teacher, student, data) = nets(seed);
+        let devices = plan.num_devices;
+        let cfg = FuncConfig {
+            devices,
+            steps: 5,
+            batch: BATCH,
+            lr: 0.05,
+            momentum: 0.9,
+            plan: Some(plan),
+            decoupled_updates: dpu,
+            pool_size: [None, Some(1), Some(2)][pool_idx],
+        };
+        let sink = Arc::new(MemorySink::default());
+        let hooks = RunHooks {
+            driver: None,
+            resume: None,
+            checkpoint: Some((
+                CheckpointPolicy::every(2),
+                Arc::clone(&sink) as Arc<dyn CheckpointSink>,
+            )),
+        };
+        threaded::run_hooked(&teacher, &student, &data, &cfg, &hooks).unwrap();
+
+        let ckpt = sink.latest().unwrap().expect("a 5-step run checkpoints at round 4");
+        prop_assert_eq!(ckpt.round, 4);
+        prop_assert!(ckpt.validate(BLOCKS, BATCH).is_ok());
+
+        let text = pipebd_json::to_string_pretty(&pipebd_json::to_value(&ckpt).unwrap()).unwrap();
+        let back: Checkpoint = pipebd_json::from_value(&pipebd_json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, ckpt, "JSON round-trip must be bitwise");
+    }
+
+    /// The restore budget is a hard bound: however the script kills
+    /// ranks, the report never records more restores than `max_restores`
+    /// (exhaustion degrades to the reference fallback instead).
+    #[test]
+    fn restores_never_exceed_the_configured_bound(
+        lost_rank in 0usize..2,
+        loss_step in 1u32..5,
+        max_restores in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let (teacher, student, data) = nets(seed);
+        let workload = Workload::synthetic(BLOCKS, false);
+        let script = FaultScript {
+            events: vec![FaultEvent::HostLoss { rank: lost_rank, at_step: loss_step }],
+        };
+        let cfg = FuncConfig {
+            devices: 2,
+            steps: 6,
+            batch: BATCH,
+            lr: 0.05,
+            momentum: 0.9,
+            plan: None,
+            decoupled_updates: true,
+            pool_size: Some(1),
+        };
+        let runner = RecoveryRunner {
+            workload: &workload,
+            script: &script,
+            policy: RecoveryPolicy {
+                max_restores,
+                ..RecoveryPolicy::default()
+            },
+            sink: Arc::new(MemorySink::default()),
+        };
+        let report = runner.run(&teacher, &student, &data, &cfg).unwrap();
+        prop_assert!(
+            report.restores <= max_restores,
+            "{} restores exceed the budget of {max_restores}",
+            report.restores
+        );
+        prop_assert!(
+            report.restores >= 1 || report.fell_back,
+            "a mid-run host loss must trigger at least one restore or the fallback"
+        );
+        prop_assert_eq!(report.outcome.losses[0].len(), 6, "the run must still complete");
+    }
+
+    /// A healthy script never touches the recovery machinery — zero
+    /// restores, zero replans, no fallback — and trains the same model
+    /// as the undriven executor (slowdown pauses are wall-clock-only,
+    /// and a healthy script has none).
+    #[test]
+    fn healthy_script_never_triggers_a_restore(
+        plan in plan_strategy(),
+        dpu in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        let (teacher, student, data) = nets(seed);
+        let workload = Workload::synthetic(BLOCKS, false);
+        let script = FaultScript::healthy();
+        let cfg = FuncConfig {
+            devices: plan.num_devices,
+            steps: 4,
+            batch: BATCH,
+            lr: 0.05,
+            momentum: 0.9,
+            plan: Some(plan.clone()),
+            decoupled_updates: dpu,
+            pool_size: Some(1),
+        };
+        let runner = RecoveryRunner {
+            workload: &workload,
+            script: &script,
+            policy: RecoveryPolicy::default(),
+            sink: Arc::new(MemorySink::default()),
+        };
+        let report = runner.run(&teacher, &student, &data, &cfg).unwrap();
+        prop_assert_eq!(report.restores, 0);
+        prop_assert_eq!(report.replans, 0);
+        prop_assert!(!report.fell_back);
+
+        let golden = reference::run(&teacher, &student, &data, &cfg).unwrap();
+        let diff = report.outcome.max_param_diff(&golden);
+        let tolerance = if plan.uses_batch_split() { 1e-4 } else { 0.0 };
+        prop_assert!(diff <= tolerance, "plan {}: diff {diff} > {tolerance}", plan);
+    }
+}

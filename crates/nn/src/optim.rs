@@ -51,6 +51,24 @@ impl Sgd {
         self.lr = lr;
     }
 
+    /// The momentum velocity buffers, in [`Layer::visit_params`] order.
+    ///
+    /// Empty until the first [`Sgd::step`] (buffers are allocated
+    /// lazily). Checkpointing snapshots these so a restored optimizer
+    /// continues the exact same trajectory.
+    pub fn velocities(&self) -> &[Tensor] {
+        &self.velocities
+    }
+
+    /// Replaces the velocity buffers with a checkpointed snapshot.
+    ///
+    /// The caller must provide buffers captured from an optimizer stepped
+    /// against the same layer; shapes are re-checked on the next
+    /// [`Sgd::step`] like any other mismatch.
+    pub fn restore_velocities(&mut self, velocities: Vec<Tensor>) {
+        self.velocities = velocities;
+    }
+
     /// Applies one update step to every matching parameter of `layer`,
     /// consuming the accumulated gradients (they are cleared afterwards).
     ///
@@ -194,6 +212,44 @@ mod tests {
             assert_eq!(before[i], after[i], "weight param {i} moved");
         }
         assert_ne!(before[n - 1], after[n - 1], "arch param did not move");
+    }
+
+    #[test]
+    fn velocity_restore_resumes_identical_trajectory() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let x = Tensor::randn(&[8, 3], &mut rng);
+        let target = Tensor::zeros(&[8, 1]);
+        let step_once = |l: &mut Linear, sgd: &mut Sgd| {
+            let y = l.forward(&x, Mode::Train).unwrap();
+            let loss = crate::mse_loss(&y, &target).unwrap();
+            l.backward(&loss.grad).unwrap();
+            sgd.step(l).unwrap();
+        };
+        // Uninterrupted run: 4 momentum steps.
+        let mut rng_a = Rng64::seed_from_u64(7);
+        let mut l_ref = Linear::new(3, 1, &mut rng_a);
+        let mut sgd_ref = Sgd::new(0.05, 0.9, 0.0);
+        for _ in 0..4 {
+            step_once(&mut l_ref, &mut sgd_ref);
+        }
+        // Checkpointed run: 2 steps, snapshot, restore into a *fresh*
+        // optimizer, 2 more steps.
+        let mut rng_b = Rng64::seed_from_u64(7);
+        let mut l = Linear::new(3, 1, &mut rng_b);
+        let mut sgd = Sgd::new(0.05, 0.9, 0.0);
+        for _ in 0..2 {
+            step_once(&mut l, &mut sgd);
+        }
+        let saved = sgd.velocities().to_vec();
+        assert!(!saved.is_empty(), "step allocated velocity buffers");
+        let mut resumed = Sgd::new(0.05, 0.9, 0.0);
+        resumed.restore_velocities(saved);
+        for _ in 0..2 {
+            step_once(&mut l, &mut resumed);
+        }
+        let a = crate::snapshot_params(&mut l_ref);
+        let b = crate::snapshot_params(&mut l);
+        assert_eq!(a, b, "restored velocities must resume bitwise");
     }
 
     #[test]

@@ -69,8 +69,10 @@ pub enum FaultEvent {
 /// A deterministic, ordered list of fault events.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultScript {
-    /// The events, applied in list order (slowdown factors compose
-    /// multiplicatively when windows overlap).
+    /// The events, applied in list order. [`FaultScript::validate`]
+    /// rejects overlapping slowdown windows for the same rank and
+    /// loss-before-join orderings — perturbations the executor-level
+    /// fault driver cannot realize.
     pub events: Vec<FaultEvent>,
 }
 
@@ -91,6 +93,28 @@ pub enum FaultViolation {
         /// The earliest offending step.
         step: u32,
     },
+    /// Two [`FaultEvent::Slowdown`] windows for the same rank overlap.
+    /// The executor's fault driver realizes exactly one pause factor per
+    /// `(rank, step)`, so compounding windows (which the simulator used
+    /// to multiply silently) are unrealizable.
+    OverlappingSlowdowns {
+        /// The doubly-slowed rank.
+        rank: usize,
+        /// The first step covered by both windows.
+        step: u32,
+    },
+    /// A rank's [`FaultEvent::HostLoss`] precedes (or coincides with) its
+    /// [`FaultEvent::HostJoin`]. Membership conjoins all events, so such
+    /// a rank would silently be dead from the loss step onward — the
+    /// executor driver cannot bring a cancelled worker back.
+    LossBeforeJoin {
+        /// The rank with the unrealizable membership order.
+        rank: usize,
+        /// The step the rank is lost.
+        loss_step: u32,
+        /// The (never effective) join step.
+        join_step: u32,
+    },
     /// The script itself is malformed for this graph.
     InvalidScript(
         /// Human-readable reason.
@@ -106,6 +130,22 @@ impl std::fmt::Display for FaultViolation {
             }
             FaultViolation::TaskBeforeJoin { rank, step } => {
                 write!(f, "task on rank {rank} at step {step} before host join")
+            }
+            FaultViolation::OverlappingSlowdowns { rank, step } => {
+                write!(
+                    f,
+                    "overlapping slowdown windows on rank {rank} (first shared step {step})"
+                )
+            }
+            FaultViolation::LossBeforeJoin {
+                rank,
+                loss_step,
+                join_step,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} lost at step {loss_step} before its join at step {join_step}"
+                )
             }
             FaultViolation::InvalidScript(why) => write!(f, "invalid fault script: {why}"),
         }
@@ -165,7 +205,99 @@ impl FaultScript {
                 }
             }
         }
+        // Pairwise realizability checks. The executor driver pauses a
+        // rank under at most one factor per step, and membership is the
+        // conjunction of all events — so overlapping same-rank windows
+        // and a loss at-or-before a join are silent lies the simulator
+        // used to accept.
+        for (i, a) in self.events.iter().enumerate() {
+            for b in self.events.iter().skip(i + 1) {
+                if let (
+                    FaultEvent::Slowdown {
+                        rank: ra,
+                        start_step: sa,
+                        end_step: ea,
+                        ..
+                    },
+                    FaultEvent::Slowdown {
+                        rank: rb,
+                        start_step: sb,
+                        end_step: eb,
+                        ..
+                    },
+                ) = (a, b)
+                {
+                    if ra == rb && sa < eb && sb < ea {
+                        return Err(FaultViolation::OverlappingSlowdowns {
+                            rank: *ra,
+                            step: (*sa).max(*sb),
+                        });
+                    }
+                }
+            }
+        }
+        for a in &self.events {
+            if let FaultEvent::HostLoss { rank, at_step } = *a {
+                for b in &self.events {
+                    if let FaultEvent::HostJoin {
+                        rank: r,
+                        at_step: join_step,
+                    } = *b
+                    {
+                        if r == rank && at_step <= join_step {
+                            return Err(FaultViolation::LossBeforeJoin {
+                                rank,
+                                loss_step: at_step,
+                                join_step,
+                            });
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Projects the script onto the surviving member list after a host
+    /// loss: events on ranks outside `members` are dropped, surviving
+    /// ranks are renumbered to their position in `members`, and loader
+    /// events are kept verbatim. Steps stay global — a resumed run keeps
+    /// counting training steps from the checkpoint, not from zero.
+    pub fn for_survivors(&self, members: &[usize]) -> FaultScript {
+        let remap = |rank: usize| members.iter().position(|&m| m == rank);
+        let events = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Slowdown {
+                    rank,
+                    factor,
+                    start_step,
+                    end_step,
+                } => remap(rank).map(|rank| FaultEvent::Slowdown {
+                    rank,
+                    factor,
+                    start_step,
+                    end_step,
+                }),
+                FaultEvent::HostLoss { rank, at_step } => {
+                    remap(rank).map(|rank| FaultEvent::HostLoss { rank, at_step })
+                }
+                FaultEvent::HostJoin { rank, at_step } => {
+                    remap(rank).map(|rank| FaultEvent::HostJoin { rank, at_step })
+                }
+                FaultEvent::LoaderSlowdown {
+                    factor,
+                    start_step,
+                    end_step,
+                } => Some(FaultEvent::LoaderSlowdown {
+                    factor,
+                    start_step,
+                    end_step,
+                }),
+            })
+            .collect();
+        FaultScript { events }
     }
 
     /// Combined slowdown factor for GPU `rank` at training `step`
@@ -445,7 +577,7 @@ mod tests {
     }
 
     #[test]
-    fn overlapping_slowdowns_compose_multiplicatively() {
+    fn overlapping_slowdowns_on_one_rank_are_rejected() {
         let script = FaultScript {
             events: vec![
                 FaultEvent::Slowdown {
@@ -462,11 +594,161 @@ mod tests {
                 },
             ],
         };
-        assert_eq!(script.factor(0, 1), 2.0);
-        assert_eq!(script.factor(0, 2), 3.0);
+        assert_eq!(
+            script.validate(2),
+            Err(FaultViolation::OverlappingSlowdowns { rank: 0, step: 2 })
+        );
+        assert!(
+            matches!(
+                simulate_faulted(&two_rank_graph(4), &script),
+                Err(FaultViolation::OverlappingSlowdowns { .. })
+            ),
+            "the simulator must refuse what the executor driver cannot realize"
+        );
+    }
+
+    #[test]
+    fn adjacent_or_cross_rank_slowdowns_still_validate() {
+        // Back-to-back windows on one rank (end == next start) and a
+        // genuinely overlapping window on a *different* rank are fine.
+        let script = FaultScript {
+            events: vec![
+                FaultEvent::Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 0,
+                    end_step: 4,
+                },
+                FaultEvent::Slowdown {
+                    rank: 0,
+                    factor: 1.5,
+                    start_step: 4,
+                    end_step: 6,
+                },
+                FaultEvent::Slowdown {
+                    rank: 1,
+                    factor: 3.0,
+                    start_step: 2,
+                    end_step: 5,
+                },
+            ],
+        };
+        script.validate(2).expect("disjoint windows are realizable");
+        assert_eq!(script.factor(0, 3), 2.0);
         assert_eq!(script.factor(0, 4), 1.5);
-        assert_eq!(script.factor(0, 6), 1.0);
-        assert_eq!(script.factor(1, 2), 1.0, "other rank unaffected");
+        assert_eq!(script.factor(1, 4), 3.0);
+    }
+
+    #[test]
+    fn loss_before_join_on_one_rank_is_rejected() {
+        let script = FaultScript {
+            events: vec![
+                FaultEvent::HostLoss {
+                    rank: 1,
+                    at_step: 3,
+                },
+                FaultEvent::HostJoin {
+                    rank: 1,
+                    at_step: 5,
+                },
+            ],
+        };
+        assert_eq!(
+            script.validate(2),
+            Err(FaultViolation::LossBeforeJoin {
+                rank: 1,
+                loss_step: 3,
+                join_step: 5,
+            })
+        );
+        // Join-then-loss is realizable: the rank exists on [2, 5).
+        let ok = FaultScript {
+            events: vec![
+                FaultEvent::HostJoin {
+                    rank: 1,
+                    at_step: 2,
+                },
+                FaultEvent::HostLoss {
+                    rank: 1,
+                    at_step: 5,
+                },
+            ],
+        };
+        ok.validate(2)
+            .expect("join-then-loss is a realizable window");
+        assert!(!ok.alive(1, 1));
+        assert!(ok.alive(1, 3));
+        assert!(!ok.alive(1, 5));
+        // Loss and join on *different* ranks never conflict.
+        let cross = FaultScript {
+            events: vec![
+                FaultEvent::HostLoss {
+                    rank: 0,
+                    at_step: 3,
+                },
+                FaultEvent::HostJoin {
+                    rank: 1,
+                    at_step: 5,
+                },
+            ],
+        };
+        cross.validate(2).expect("cross-rank loss/join is fine");
+    }
+
+    #[test]
+    fn for_survivors_renumbers_and_drops_dead_ranks() {
+        let script = FaultScript {
+            events: vec![
+                FaultEvent::Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 1,
+                    end_step: 4,
+                },
+                FaultEvent::HostLoss {
+                    rank: 1,
+                    at_step: 5,
+                },
+                FaultEvent::Slowdown {
+                    rank: 2,
+                    factor: 3.0,
+                    start_step: 6,
+                    end_step: 9,
+                },
+                FaultEvent::LoaderSlowdown {
+                    factor: 1.5,
+                    start_step: 0,
+                    end_step: 8,
+                },
+            ],
+        };
+        // Rank 1 died; survivors [0, 2] become logical ranks [0, 1].
+        let projected = script.for_survivors(&[0, 2]);
+        assert_eq!(
+            projected.events,
+            vec![
+                FaultEvent::Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 1,
+                    end_step: 4,
+                },
+                FaultEvent::Slowdown {
+                    rank: 1,
+                    factor: 3.0,
+                    start_step: 6,
+                    end_step: 9,
+                },
+                FaultEvent::LoaderSlowdown {
+                    factor: 1.5,
+                    start_step: 0,
+                    end_step: 8,
+                },
+            ]
+        );
+        projected.validate(2).expect("projection stays valid");
+        // Projecting a healthy script is a no-op.
+        assert!(FaultScript::healthy().for_survivors(&[0]).is_healthy());
     }
 
     #[test]

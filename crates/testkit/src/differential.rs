@@ -8,10 +8,13 @@
 //! against, and a [`ConformanceReport`] bundling a whole sweep is a
 //! persistable artifact — the regression gate's auditable record.
 
+use std::sync::Arc;
+
+use pipebd_core::exec::recovery::{RecoveryPolicy, RecoveryRunner};
 use pipebd_core::exec::{reference, threaded, FuncConfig, FuncOutcome};
 use pipebd_core::lower::fault::lower_faulted;
 use pipebd_core::lower::{lower, relay, Lowering};
-use pipebd_core::{ExecutorChoice, Strategy};
+use pipebd_core::{ExecutorChoice, MemorySink, Strategy};
 use pipebd_data::SyntheticImageDataset;
 use pipebd_models::{mini_student_dsconv, mini_student_supernet, mini_teacher, MiniConfig};
 use pipebd_sched::replan::degraded_estimate;
@@ -68,6 +71,17 @@ pub struct ScenarioOutcome {
     /// Plan segments the fault lowering spliced (`0` for non-fault
     /// scenarios, `1` when no splice happened).
     pub fault_segments: usize,
+    /// Whether the executor-recovery differential ran (fault scenarios
+    /// with `exec_recovery` only).
+    pub recovery_checked: bool,
+    /// Checkpoint restores the recovery protocol performed.
+    pub restores: usize,
+    /// Replanning passes the recovery protocol performed (executor-level;
+    /// distinct from the sim lowering's `fault_segments`).
+    pub exec_replans: usize,
+    /// Whether the recovered run finished on the reference-executor
+    /// fallback after exhausting its restore budget.
+    pub fell_back: bool,
     /// Overall verdict.
     pub pass: bool,
     /// Failure detail, empty on pass.
@@ -89,7 +103,9 @@ impl ArtifactPayload for ConformanceReport {
     const SCHEMA: &'static str = "pipebd.conformance_report";
     // V2: outcomes carry the fault fields (class, replan, overhead,
     // segment count).
-    const VERSION: u32 = 2;
+    // V3: outcomes carry the executor-recovery fields (recovery_checked,
+    // restores, exec_replans, fell_back).
+    const VERSION: u32 = 3;
 }
 
 /// Steady-state period of a simulated task graph: the spread of the last
@@ -267,6 +283,71 @@ fn fault_differential(s: &Scenario, fault: &FaultCase) -> Result<FaultMeasuremen
     })
 }
 
+/// What the executor-recovery differential measured for one scenario.
+struct RecoveryMeasurement {
+    /// Recovered vs uninterrupted-reference parameter drift.
+    param_diff: f64,
+    /// Recovered vs uninterrupted-reference loss drift.
+    loss_diff: f64,
+    /// Checkpoint restores the protocol performed.
+    restores: usize,
+    /// Executor-level replanning passes.
+    replans: usize,
+    /// Whether the run finished on the reference fallback.
+    fell_back: bool,
+}
+
+/// The executor-recovery differential: drive the scenario's fault script
+/// against the real threaded executor through the recovery protocol
+/// (kill → restore latest checkpoint → replan over survivors → resume)
+/// and compare the recovered parameters against an *uninterrupted*
+/// reference run — the replay-equivalence claim, executed.
+fn recovery_differential(s: &Scenario, fault: &FaultCase) -> Result<RecoveryMeasurement, String> {
+    let cfg = MiniConfig {
+        blocks: s.blocks,
+        channels: 6,
+        batch_norm: s.batch_norm,
+    };
+    let mut rng = Rng64::seed_from_u64(s.seed);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let student = if s.supernet {
+        mini_student_supernet(cfg, &mut rng)
+    } else {
+        mini_student_dsconv(cfg, &mut rng)
+    };
+    let data = SyntheticImageDataset::mini(64, 8, 4, s.seed.rotate_left(17));
+    let (plan, dpu) = s.exec_plan()?;
+    let func = FuncConfig {
+        devices: s.ranks,
+        steps: s.exec_steps,
+        batch: s.exec_batch,
+        lr: 0.05,
+        momentum: 0.9,
+        plan: Some(plan),
+        decoupled_updates: dpu,
+        pool_size: Some(s.pool_size),
+    };
+    let golden = reference::run(&teacher, &student, &data, &func)
+        .map_err(|e| format!("reference run failed: {e}"))?;
+    let workload = pipebd_models::Workload::synthetic(s.blocks, s.heavy_first);
+    let runner = RecoveryRunner {
+        workload: &workload,
+        script: &fault.script,
+        policy: RecoveryPolicy::default(),
+        sink: Arc::new(MemorySink::default()),
+    };
+    let report = runner
+        .run(&teacher, &student, &data, &func)
+        .map_err(|e| format!("recovery run failed: {e}"))?;
+    Ok(RecoveryMeasurement {
+        param_diff: f64::from(report.outcome.max_param_diff(&golden)),
+        loss_diff: f64::from(report.outcome.max_loss_diff(&golden)),
+        restores: report.restores,
+        replans: report.replans,
+        fell_back: report.fell_back,
+    })
+}
+
 fn ratio(simulated: SimTime, analytic: SimTime) -> f64 {
     let a = analytic.as_secs_f64();
     if a <= 0.0 {
@@ -337,20 +418,70 @@ pub fn run_scenario(s: &Scenario, book: &ToleranceBook) -> ScenarioOutcome {
         replan: s.fault.as_ref().is_some_and(|f| f.replan),
         replan_overhead_ns: 0,
         fault_segments: 0,
+        recovery_checked: false,
+        restores: 0,
+        exec_replans: 0,
+        fell_back: false,
         pass: false,
         detail: String::new(),
     };
     let mut failures: Vec<String> = Vec::new();
 
     if let Some(fault) = &s.fault {
-        // Fault scenarios are timing-plane only: faults change *when*
-        // things run, never what is computed, and the healthy matrix
-        // already pins the functional side of every incumbent.
-        outcome.max_param_diff = 0.0;
-        outcome.max_loss_diff = 0.0;
-        outcome.exec_tolerance = 0.0;
-        outcome.exec_ok = true;
         outcome.bottleneck_ok = true;
+        if fault.exec_recovery {
+            // The executor direction runs the recovery protocol: kill
+            // mid-training, restore, replan, resume — and the recovered
+            // model must match an uninterrupted reference run.
+            outcome.recovery_checked = true;
+            match (s.recovery_tolerance(), recovery_differential(s, fault)) {
+                (Ok(tol), Ok(m)) => {
+                    outcome.exec_tolerance = f64::from(tol);
+                    outcome.max_param_diff = m.param_diff;
+                    outcome.max_loss_diff = m.loss_diff;
+                    outcome.restores = m.restores;
+                    outcome.exec_replans = m.replans;
+                    outcome.fell_back = m.fell_back;
+                    let worst = m.param_diff.max(m.loss_diff);
+                    outcome.exec_ok = if tol == 0.0 {
+                        worst == 0.0
+                    } else {
+                        worst < f64::from(tol)
+                    };
+                    if !outcome.exec_ok {
+                        failures.push(format!(
+                            "recovered-run drift: param {:.3e} / loss {:.3e} vs tolerance {tol:.0e}",
+                            m.param_diff, m.loss_diff
+                        ));
+                    }
+                    // A script that kills a rank mid-run must actually
+                    // exercise the protocol; a membership-preserving one
+                    // must never touch it.
+                    let kills = fault.script.events.iter().any(|e| {
+                        matches!(e, pipebd_sim::FaultEvent::HostLoss { at_step, .. }
+                            if (*at_step as usize) < s.exec_steps)
+                    });
+                    if kills && m.restores == 0 && !m.fell_back {
+                        failures.push("host-loss script triggered no restore".into());
+                    }
+                    if !kills && (m.restores > 0 || m.fell_back) {
+                        failures.push(format!(
+                            "membership-preserving script triggered {} restores",
+                            m.restores
+                        ));
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => failures.push(e),
+            }
+        } else {
+            // Timing-plane-only fault scenarios: faults change *when*
+            // things run, never what is computed, and the healthy matrix
+            // already pins the functional side of every incumbent.
+            outcome.max_param_diff = 0.0;
+            outcome.max_loss_diff = 0.0;
+            outcome.exec_tolerance = 0.0;
+            outcome.exec_ok = true;
+        }
         match fault_differential(s, fault) {
             Ok(m) => {
                 outcome.sim_ratio = m.ratio;

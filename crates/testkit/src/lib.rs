@@ -34,8 +34,16 @@
 //!   simulate the degraded cluster, and check the settled tail period
 //!   against `pipebd_sched`'s degraded estimate under per-fault-class
 //!   budgets. Faults change *when* work runs, never *what* is computed,
-//!   so the executor differential is pinned by the healthy matrix and
-//!   skipped here.
+//!   so most fault scenarios skip the executor differential (the healthy
+//!   matrix pins it);
+//! * **Recovery differential** — fault scenarios flagged `exec_recovery`
+//!   drive their script against the *real* threaded executor through the
+//!   recovery protocol (`pipebd_core::exec::recovery`): the run is killed
+//!   mid-training, restored from its latest checkpoint, replanned over
+//!   the surviving ranks, and resumed — and the recovered parameters must
+//!   match an uninterrupted reference run, *bitwise* for width-1
+//!   incumbents and within [`ToleranceBook::RECOVERY_SPLIT_EXEC`] for
+//!   batch-split ones (replay equivalence, executed).
 //!
 //! Scenarios ([`Scenario`]) and outcomes ([`ConformanceReport`]) are
 //! serializable artifacts, persisted through `pipebd_artifact` by the

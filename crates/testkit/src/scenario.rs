@@ -170,6 +170,13 @@ pub struct FaultCase {
     /// membership-preserving scripts — a static schedule cannot place
     /// work on a missing rank).
     pub replan: bool,
+    /// Whether the *executor* direction runs too: the script is driven
+    /// against the real threaded executor through the recovery protocol
+    /// (checkpoint → replan → resume), and the recovered parameters are
+    /// checked against an uninterrupted reference run — bitwise for
+    /// width-1 incumbents, within the recovery budget for batch-split
+    /// ones. `false` keeps the scenario timing-plane only.
+    pub exec_recovery: bool,
     /// The injected event list.
     pub script: FaultScript,
 }
@@ -363,6 +370,19 @@ impl Scenario {
             self.batch_norm,
         ))
     }
+
+    /// The recovery-differential tolerance (executor-recovery fault
+    /// scenarios): bitwise when the incumbent plan is split-free — the
+    /// recovery protocol preserves width-1 through every replan — and the
+    /// recovery budget otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::sim_plan`].
+    pub fn recovery_tolerance(&self) -> Result<f32, String> {
+        let (plan, _) = self.exec_plan()?;
+        Ok(ToleranceBook::recovery_tolerance(plan.uses_batch_split()))
+    }
 }
 
 /// A persisted scenario sweep (the enumeration a gate run covered).
@@ -378,7 +398,8 @@ impl ArtifactPayload for ScenarioSet {
     const SCHEMA: &'static str = "pipebd.scenario_set";
     // V2: scenarios carry the fault axis (`fault`) and `batch_norm`.
     // V3: scenarios carry the kernel-parallelism axis (`pool_size`).
-    const VERSION: u32 = 3;
+    // V4: fault cases carry the executor-recovery axis (`exec_recovery`).
+    const VERSION: u32 = 4;
 }
 
 /// The model-shape axis: `(blocks, heavy_first, supernet_student)`.
@@ -777,6 +798,7 @@ pub fn enumerate() -> Vec<Scenario> {
                             fault: Some(FaultCase {
                                 class,
                                 replan,
+                                exec_recovery: false,
                                 script: script.clone(),
                             }),
                         });
@@ -785,7 +807,98 @@ pub fn enumerate() -> Vec<Scenario> {
             }
         }
     }
+    // The recovery slice: fault scripts driven against the *real*
+    // threaded executor through the recovery protocol (kill mid-training,
+    // restore the latest checkpoint, replan over the survivors, resume),
+    // with the recovered parameters checked against an uninterrupted
+    // reference run. TR+DPU incumbents are width-1, so their recovered
+    // runs must be *bitwise* identical; the hybrid incumbent adds the
+    // batch-split case under the recovery budget. Longer executor runs
+    // (10 steps) so every script both fires and leaves a checkpoint
+    // behind; the timing-plane fault differential runs on these scenarios
+    // too, so each point checks both planes.
+    const RECOVERY_STRATEGIES: [ConformanceStrategy; 2] =
+        [ConformanceStrategy::TrDpu, ConformanceStrategy::Hybrid];
+    for (ranks, exec_batch) in RANKS {
+        for strategy in RECOVERY_STRATEGIES {
+            if strategy == ConformanceStrategy::Hybrid && ranks < 3 {
+                continue;
+            }
+            for (tag, class, script) in recovery_variants(ranks) {
+                let id = format!("fault-rec-r{ranks}-{strategy}-{tag}");
+                out.push(Scenario {
+                    seed: fnv1a(&id),
+                    id,
+                    blocks: 6,
+                    heavy_first: false,
+                    sim_workload: SimWorkload::Synthetic,
+                    supernet: false,
+                    ranks,
+                    sim_batch: 256,
+                    exec_batch,
+                    exec_steps: 10,
+                    strategy,
+                    subject: ExecutorChoice::Threaded,
+                    kernel_policy: "blocked".to_string(),
+                    batch_norm: false,
+                    pool_size: 1,
+                    fault: Some(FaultCase {
+                        class,
+                        replan: true,
+                        exec_recovery: true,
+                        script,
+                    }),
+                });
+            }
+        }
+    }
     out
+}
+
+/// The executor-recovery fault variants: every event fires within the
+/// slice's 10 executor steps (and before the sim tail window), so each
+/// scenario genuinely kills and restores — or, for the slowdown variant,
+/// proves that pure pauses leave the result untouched with zero restores.
+fn recovery_variants(ranks: usize) -> Vec<(&'static str, FaultClass, FaultScript)> {
+    use FaultEvent::{HostLoss, Slowdown};
+    let last = ranks - 1;
+    let script = |events: Vec<FaultEvent>| FaultScript { events };
+    vec![
+        (
+            "recslow",
+            FaultClass::Slowdown,
+            script(vec![Slowdown {
+                rank: 0,
+                factor: 1.5,
+                start_step: 2,
+                end_step: 8,
+            }]),
+        ),
+        (
+            "reclose",
+            FaultClass::Loss,
+            script(vec![HostLoss {
+                rank: 1,
+                at_step: 4,
+            }]),
+        ),
+        (
+            "recmix",
+            FaultClass::Compound,
+            script(vec![
+                Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 2,
+                    end_step: u32::MAX,
+                },
+                HostLoss {
+                    rank: last,
+                    at_step: 6,
+                },
+            ]),
+        ),
+    ]
 }
 
 #[cfg(test)]
@@ -872,6 +985,44 @@ mod tests {
                     "fault axis {class:?} replan={replan}: present={present}, valid={valid}"
                 );
             }
+        }
+        // The recovery axis: killed-and-restored executor runs, both in
+        // the bitwise (width-1 incumbent) and budgeted (batch-split
+        // incumbent) regimes, plus a restore-free slowdown control.
+        let recovery: Vec<_> = all
+            .iter()
+            .filter(|s| s.fault.as_ref().is_some_and(|f| f.exec_recovery))
+            .collect();
+        assert!(!recovery.is_empty(), "recovery slice missing");
+        assert!(
+            recovery.iter().any(|s| s.exec_tolerance() == Ok(0.0)),
+            "no bitwise recovery scenario"
+        );
+        assert!(
+            recovery.iter().any(|s| s.exec_tolerance() != Ok(0.0)),
+            "no batch-split recovery scenario"
+        );
+        for class in [FaultClass::Slowdown, FaultClass::Loss, FaultClass::Compound] {
+            assert!(
+                recovery
+                    .iter()
+                    .any(|s| s.fault.as_ref().is_some_and(|f| f.class == class)),
+                "recovery slice misses {class:?}"
+            );
+        }
+        // Recovery scripts must fire inside the executor run: every event
+        // step sits strictly below the slice's step count.
+        for s in &recovery {
+            let script = &s.fault.as_ref().unwrap().script;
+            assert!(
+                script
+                    .change_steps()
+                    .iter()
+                    .any(|&st| (st as usize) < s.exec_steps),
+                "{}: script never fires within {} executor steps",
+                s.id,
+                s.exec_steps
+            );
         }
     }
 

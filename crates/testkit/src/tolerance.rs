@@ -119,6 +119,27 @@ impl ToleranceBook {
     /// matrix stays well below this; the entry exists so relaxing the old
     /// `batch_norm: false` pin is a declared policy, not an accident.
     pub const BN_SHARD_EXEC: f32 = 5e-2;
+
+    /// The recovery-differential tolerance: a killed-and-restored run
+    /// against an uninterrupted reference. Width-1 incumbents stay
+    /// *bitwise* — the recovery protocol never widens a split-free plan,
+    /// checkpoints restore the exact state, and the remaining steps
+    /// replay the same per-index-deterministic batches. Batch-split
+    /// incumbents accumulate shard-mean reassociation twice (before the
+    /// checkpoint and after the resume, possibly under a different
+    /// degraded split), so they carry a slightly wider budget than the
+    /// healthy differential's.
+    pub fn recovery_tolerance(plan_uses_batch_split: bool) -> f32 {
+        if plan_uses_batch_split {
+            Self::RECOVERY_SPLIT_EXEC
+        } else {
+            0.0
+        }
+    }
+
+    /// The batch-split recovery budget (see
+    /// [`ToleranceBook::recovery_tolerance`]).
+    pub const RECOVERY_SPLIT_EXEC: f32 = 5e-4;
 }
 
 #[cfg(test)]
@@ -145,6 +166,15 @@ mod tests {
         assert!(
             ToleranceBook::exec_tolerance(true, true) > ToleranceBook::exec_tolerance(true, false),
             "shard batch-norm statistics need more room than reassociation"
+        );
+    }
+
+    #[test]
+    fn recovery_tolerance_is_bitwise_without_splitting() {
+        assert_eq!(ToleranceBook::recovery_tolerance(false), 0.0);
+        assert!(
+            ToleranceBook::recovery_tolerance(true) > ToleranceBook::exec_tolerance(true, false),
+            "a resumed split run accumulates reassociation twice"
         );
     }
 

@@ -1,0 +1,159 @@
+//! The recovery slice of the conformance matrix, run in-test: one
+//! kill-and-restore scenario per fault class in debug mode, so tier-1
+//! always exercises the full recovery protocol (fault driver → rank loss
+//! → checkpoint restore → replan → resume → replay-equivalence check),
+//! plus the structured rejection of the one fault class the executor
+//! cannot realize (elastic host joins).
+//!
+//! Recovery scenarios declare the blocked kernel policy; under the naive
+//! CI leg these tests legitimately no-op (the release-mode
+//! `regression_gate` lane sweeps the slice under its declared policy).
+
+use std::sync::Arc;
+
+use pipebd_core::exec::recovery::{RecoveryPolicy, RecoveryRunner};
+use pipebd_core::exec::{ExecError, FuncConfig};
+use pipebd_core::MemorySink;
+use pipebd_data::SyntheticImageDataset;
+use pipebd_models::{mini_student_dsconv, mini_teacher, MiniConfig, Workload};
+use pipebd_sim::{FaultEvent, FaultScript};
+use pipebd_tensor::Rng64;
+use pipebd_testkit::{
+    enumerate, run_scenario, ConformanceStrategy, FaultClass, Scenario, ToleranceBook,
+};
+
+/// The recovery scenarios, when the ambient kernel policy matches their
+/// declared one (empty under the naive leg).
+fn recovery_scenarios() -> Vec<Scenario> {
+    let ambient = pipebd_tensor::kernel_policy().to_string();
+    enumerate()
+        .into_iter()
+        .filter(|s| s.kernel_policy == ambient && s.fault.as_ref().is_some_and(|f| f.exec_recovery))
+        .collect()
+}
+
+#[test]
+fn one_kill_and_restore_scenario_per_class_conforms() {
+    let scenarios = recovery_scenarios();
+    if scenarios.is_empty() {
+        return;
+    }
+    let book = ToleranceBook::gate_default();
+    for class in [FaultClass::Slowdown, FaultClass::Loss, FaultClass::Compound] {
+        let s = scenarios
+            .iter()
+            .find(|s| s.fault.as_ref().is_some_and(|f| f.class == class))
+            .unwrap_or_else(|| panic!("no recovery scenario for {class:?}"));
+        let outcome = run_scenario(s, &book);
+        assert!(outcome.pass, "{}: {}", outcome.id, outcome.detail);
+        assert!(outcome.recovery_checked, "{}: recovery did not run", s.id);
+        match class {
+            // Pure slowdowns stretch wall-clock only: no restore, and the
+            // paused run still trains the identical model.
+            FaultClass::Slowdown => {
+                assert_eq!(outcome.restores, 0, "{}: slowdown restored", s.id);
+            }
+            // Host losses must genuinely kill and restore.
+            _ => assert!(
+                outcome.restores >= 1 || outcome.fell_back,
+                "{}: loss script never exercised the protocol",
+                s.id
+            ),
+        }
+    }
+}
+
+#[test]
+fn killed_width1_run_replays_bitwise() {
+    // The tentpole claim at its strongest: a threaded run killed
+    // mid-training by a host loss, restored from its checkpoint, and
+    // replanned over the survivors trains *bitwise* identical parameters
+    // to a run that was never interrupted.
+    let Some(s) = recovery_scenarios().into_iter().find(|s| {
+        s.strategy == ConformanceStrategy::TrDpu
+            && s.fault
+                .as_ref()
+                .is_some_and(|f| f.class == FaultClass::Loss)
+    }) else {
+        return;
+    };
+    let outcome = run_scenario(&s, &ToleranceBook::gate_default());
+    assert!(outcome.pass, "{}: {}", outcome.id, outcome.detail);
+    assert!(
+        outcome.restores >= 1 || outcome.fell_back,
+        "{}: the kill never fired",
+        s.id
+    );
+    assert_eq!(outcome.exec_tolerance, 0.0, "width-1 asserts bitwise");
+    assert_eq!(
+        outcome.max_param_diff, 0.0,
+        "{}: recovered width-1 run must replay bitwise",
+        s.id
+    );
+}
+
+#[test]
+fn killed_batch_split_run_stays_within_the_recovery_budget() {
+    let Some(s) = recovery_scenarios().into_iter().find(|s| {
+        s.strategy == ConformanceStrategy::Hybrid
+            && s.fault
+                .as_ref()
+                .is_some_and(|f| f.class == FaultClass::Loss)
+    }) else {
+        return;
+    };
+    let outcome = run_scenario(&s, &ToleranceBook::gate_default());
+    assert!(outcome.pass, "{}: {}", outcome.id, outcome.detail);
+    assert!(
+        outcome.exec_tolerance > 0.0,
+        "batch-split incumbents carry the loss-parity budget"
+    );
+}
+
+#[test]
+fn join_scripts_are_rejected_structurally() {
+    // The executor spawns a fixed thread set, so elastic joins are
+    // unrealizable at the executor level — the recovery runner must say
+    // so in a structured error, never hang or panic.
+    let cfg = MiniConfig {
+        blocks: 4,
+        channels: 6,
+        batch_norm: false,
+    };
+    let mut rng = Rng64::seed_from_u64(7);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let student = mini_student_dsconv(cfg, &mut rng);
+    let data = SyntheticImageDataset::mini(64, 8, 4, 11);
+    let workload = Workload::synthetic(4, false);
+    let script = FaultScript {
+        events: vec![FaultEvent::HostJoin {
+            rank: 1,
+            at_step: 3,
+        }],
+    };
+    let func = FuncConfig {
+        devices: 2,
+        steps: 4,
+        batch: 8,
+        lr: 0.05,
+        momentum: 0.9,
+        plan: None,
+        decoupled_updates: true,
+        pool_size: Some(1),
+    };
+    let runner = RecoveryRunner {
+        workload: &workload,
+        script: &script,
+        policy: RecoveryPolicy::default(),
+        sink: Arc::new(MemorySink::default()),
+    };
+    let err = runner
+        .run(&teacher, &student, &data, &func)
+        .expect_err("host joins must be rejected");
+    match err {
+        ExecError::Config(msg) => {
+            assert!(msg.contains("join"), "rejection must name the join: {msg}");
+        }
+        other => panic!("expected a structured Config rejection, got {other}"),
+    }
+}
