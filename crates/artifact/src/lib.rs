@@ -28,6 +28,7 @@
 mod ckpt;
 mod payload;
 mod store;
+mod trace;
 
 pub use ckpt::CheckpointStore;
 pub use payload::{
@@ -36,6 +37,7 @@ pub use payload::{
     ScalingPoint, SpeedupDelta,
 };
 pub use store::{ArtifactError, ArtifactMeta, ArtifactStore};
+pub use trace::{GateCheck, GateReport, TraceArtifact};
 
 use pipebd_core::{Checkpoint, RunReport};
 use pipebd_sched::StagePlan;

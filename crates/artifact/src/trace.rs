@@ -1,0 +1,149 @@
+//! Trace-plane artifacts: persisted executor observations and the
+//! regression gate's machine-readable verdict.
+//!
+//! A [`TraceArtifact`] freezes what one instrumented run *measured* — the
+//! per-stage busy/bubble summary, the metrics registry snapshot, and
+//! (when the run was differentialed) the measured-vs-predicted verdict —
+//! so bubble-ratio trends can be compared across commits without re-running
+//! anything. A [`GateReport`] is the regression gate's sweep verdict in the
+//! same envelope format, for CI to archive and diff.
+
+use pipebd_trace::{MetricsSnapshot, TraceDifferential, TraceSummary};
+use serde::{Deserialize, Serialize};
+
+use crate::ArtifactPayload;
+
+/// One instrumented run's persisted observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceArtifact {
+    /// Scenario or run label (e.g. `"trace/tr_dpu_r4"`).
+    pub scenario: String,
+    /// Trace mode the run executed under (`"spans"` or `"full"`).
+    pub mode: String,
+    /// Compute lanes the host offered (`min(parallelism, ranks)`); period
+    /// predictions are only comparable between equal-lane runs.
+    pub lanes: usize,
+    /// The measured timeline summary.
+    pub summary: TraceSummary,
+    /// Counters/gauges/histograms snapshotted at drain (empty unless the
+    /// run traced in full mode).
+    pub metrics: MetricsSnapshot,
+    /// Measured-vs-predicted verdict, when the differential ran.
+    pub differential: Option<TraceDifferential>,
+}
+
+impl ArtifactPayload for TraceArtifact {
+    const SCHEMA: &'static str = "pipebd.trace";
+    const VERSION: u32 = 1;
+}
+
+/// One named check inside a [`GateReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateCheck {
+    /// Check name (e.g. `"bench_e2e"`, `"recovery_honest"`).
+    pub name: String,
+    /// Whether the check passed.
+    pub pass: bool,
+    /// One-line human detail (counts, worst ratio, skip reason).
+    pub detail: String,
+}
+
+/// The regression gate's sweep verdict, persisted for CI archaeology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateReport {
+    /// Overall verdict (`false` when any fatal check failed).
+    pub pass: bool,
+    /// Machine fingerprint the gate ran on (nanosecond tolerances are
+    /// only *enforced* against a matching baseline).
+    pub fingerprint: String,
+    /// Every check the gate ran, in execution order.
+    pub checks: Vec<GateCheck>,
+    /// Whole-run bubble ratio of the gate's traced scenario, when the
+    /// trace hook ran — the trend the gate tracks non-fatally across
+    /// commits.
+    pub bubble_ratio: Option<f64>,
+}
+
+impl ArtifactPayload for GateReport {
+    const SCHEMA: &'static str = "pipebd.gate_report";
+    const VERSION: u32 = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArtifactStore;
+    use pipebd_trace::StageObservation;
+
+    fn sample_summary() -> TraceSummary {
+        TraceSummary {
+            steps: 12,
+            tail: 4,
+            wall_ns: 4_000_000,
+            measured_period_ns: 310_000,
+            total_busy_ns: 3_100_000,
+            stages: vec![
+                StageObservation {
+                    stage: 0,
+                    width: 1,
+                    busy_ns: 1_900_000,
+                    busy_ratio: 0.475,
+                    bubble_ratio: 0.525,
+                },
+                StageObservation {
+                    stage: 1,
+                    width: 2,
+                    busy_ns: 600_000,
+                    busy_ratio: 0.15,
+                    bubble_ratio: 0.85,
+                },
+            ],
+            bottleneck_stage: 0,
+            bottleneck_margin: 3.1666,
+            bubble_ratio: 0.7416,
+            spans: 144,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn trace_artifact_round_trips_through_the_store() {
+        let dir = std::env::temp_dir().join(format!("pipebd_trace_art_{}", std::process::id()));
+        let store = ArtifactStore::at(&dir);
+        let art = TraceArtifact {
+            scenario: "trace/tr_dpu_r4".into(),
+            mode: "full".into(),
+            lanes: 1,
+            summary: sample_summary(),
+            metrics: MetricsSnapshot::default(),
+            differential: None,
+        };
+        store.save("TRACE_test", &art).unwrap();
+        let (meta, loaded) = store.load_with_meta::<TraceArtifact>("TRACE_test").unwrap();
+        assert_eq!(loaded, art);
+        assert_eq!(meta.schema, "pipebd.trace");
+        assert_eq!(meta.version, 1);
+        assert!(store.matches("TRACE_test", &art).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_report_round_trips_through_the_store() {
+        let dir = std::env::temp_dir().join(format!("pipebd_gate_art_{}", std::process::id()));
+        let store = ArtifactStore::at(&dir);
+        let report = GateReport {
+            pass: true,
+            fingerprint: "m1 pool1".into(),
+            checks: vec![GateCheck {
+                name: "bench_e2e".into(),
+                pass: true,
+                detail: "12 ids within budget".into(),
+            }],
+            bubble_ratio: Some(0.74),
+        };
+        store.save("GATE_test", &report).unwrap();
+        let loaded = store.load::<GateReport>("GATE_test").unwrap();
+        assert_eq!(loaded, report);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,7 +18,8 @@
 
 use pipebd_artifact::ArtifactStore;
 use pipebd_artifact::{
-    ArtifactError, ArtifactMeta, ArtifactPayload, BenchKernels, BenchSuite, CostProfile, RunSet,
+    ArtifactError, ArtifactMeta, ArtifactPayload, BenchKernels, BenchSuite, CostProfile,
+    GateReport, RunSet, TraceArtifact,
 };
 use pipebd_core::RunReport;
 use pipebd_json::Value;
@@ -99,6 +100,17 @@ fn revalidate(meta: &ArtifactMeta, payload: &Value) -> Result<String, ArtifactEr
                 "{} scenarios, {} failures",
                 report.scenarios, report.failures
             ))
+        }
+        TraceArtifact::SCHEMA => {
+            let trace: TraceArtifact = typed(meta, payload)?;
+            Ok(format!(
+                "{} ({}): {} spans, bubble {:.3}",
+                trace.scenario, trace.mode, trace.summary.spans, trace.summary.bubble_ratio
+            ))
+        }
+        GateReport::SCHEMA => {
+            let gate: GateReport = typed(meta, payload)?;
+            Ok(format!("{} checks, pass={}", gate.checks.len(), gate.pass))
         }
         other => Err(ArtifactError::Malformed(format!(
             "unknown schema `{other}` — register the payload type in artifact_smoke"

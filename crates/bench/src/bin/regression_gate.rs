@@ -33,6 +33,12 @@
 //! * `--require-bench` — missing current bench artifacts become fatal
 //!   (CI sets this so a lane misconfiguration cannot silently skip the
 //!   perf half).
+//! * `--json` — persist the sweep verdict as a machine-readable
+//!   `pipebd.gate_report` artifact (`GATE_report`) and run the trace
+//!   hook: one instrumented scenario whose whole-run bubble ratio is
+//!   recorded and diffed against the previously persisted report's —
+//!   non-fatally, so the bubble trend is tracked across commits without
+//!   letting shared-runner noise fail the gate.
 //! * `PIPEBD_CONFORMANCE_STRIDE=N` — run every Nth scenario (quick local
 //!   iteration; printed loudly, never set in CI).
 //!
@@ -42,11 +48,12 @@ use std::path::{Path, PathBuf};
 
 use pipebd_artifact::{
     pooled_fingerprint, ArtifactError, ArtifactStore, BenchKernels, BenchSuite, BenchTolerance,
+    GateCheck, GateReport,
 };
 use pipebd_tensor::{kernel_policy, set_kernel_policy};
 use pipebd_testkit::{
-    enumerate, run_scenario, ConformanceReport, FaultClass, RatioBudget, ScenarioSet, SimWorkload,
-    ToleranceBook,
+    enumerate, run_scenario, run_trace_scenario, trace_scenarios, ConformanceReport, FaultClass,
+    RatioBudget, ScenarioSet, SimWorkload, ToleranceBook,
 };
 
 /// Minimum fraction of the baseline's kernel speedup the current run must
@@ -390,6 +397,7 @@ fn recovery_self_test() -> bool {
         script: &script,
         policy: RecoveryPolicy::default(),
         sink: Arc::new(MemorySink::default()),
+        trace: None,
     };
     let report = match honest.run(&teacher, &student, &data, &func) {
         Ok(r) => r,
@@ -428,6 +436,7 @@ fn recovery_self_test() -> bool {
             ..RecoveryPolicy::default()
         },
         sink: Arc::new(MemorySink::default()),
+        trace: None,
     };
     match sabotaged.run(&teacher, &student, &data, &func) {
         Err(ExecError::RecoveryExhausted { attempts: 0 }) => {}
@@ -455,6 +464,7 @@ fn recovery_self_test() -> bool {
             pipebd_core::CheckpointPolicy::every(2),
             Arc::new(ckpt_sink.clone()) as Arc<dyn CheckpointSink>,
         )),
+        trace: None,
     };
     if let Err(e) =
         pipebd_core::exec::threaded::run_hooked(&teacher, &student, &data, &func, &hooks)
@@ -653,30 +663,111 @@ fn scaling_self_test(current_store: &ArtifactStore, baseline_store: &ArtifactSto
     true
 }
 
+/// The gate's trace hook, run under `--json`: one instrumented scenario,
+/// recorded for its bubble-ratio trend against the previously persisted
+/// `GateReport`. Non-fatal by design — wall-clock bubble ratios on shared
+/// runners drift for reasons no commit caused, so the trend lives in the
+/// artifact for CI archaeology while hard enforcement stays with the
+/// testkit's trace differential.
+fn trace_bubble_hook(store: &ArtifactStore) -> (GateCheck, Option<f64>) {
+    let scenarios = trace_scenarios();
+    let s = &scenarios[0];
+    let previous = store
+        .load::<GateReport>("GATE_report")
+        .ok()
+        .and_then(|r| r.bubble_ratio);
+    match run_trace_scenario(s, &ToleranceBook::gate_default()) {
+        Ok(run) => {
+            let now = run.summary.bubble_ratio;
+            let trend = match previous {
+                Some(prev) => format!("; previous {prev:.3}, delta {:+.3}", now - prev),
+                None => "; no previous gate report".to_string(),
+            };
+            println!(
+                "  `{}` bubble ratio {now:.3}{trend}; differential {}",
+                run.scenario_id,
+                if run.differential.pass {
+                    "pass"
+                } else {
+                    "FAIL (informational in this hook)"
+                },
+            );
+            let check = GateCheck {
+                name: "trace_bubble".into(),
+                pass: run.differential.pass,
+                detail: format!("bubble ratio {now:.3}{trend}"),
+            };
+            (check, Some(now))
+        }
+        Err(e) => {
+            println!("  trace scenario failed to run: {e}");
+            let check = GateCheck {
+                name: "trace_bubble".into(),
+                pass: false,
+                detail: format!("trace scenario failed: {e}"),
+            };
+            (check, None)
+        }
+    }
+}
+
+/// Persists the machine-readable sweep verdict as a `pipebd.gate_report`
+/// artifact.
+fn persist_gate_report(store: &ArtifactStore, report: &GateReport) {
+    match store.save("GATE_report", report) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => panic!("failed to persist `GATE_report`: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let self_test_mode = args.iter().any(|a| a == "--self-test");
     let require_bench = args.iter().any(|a| a == "--require-bench");
+    let json_mode = args.iter().any(|a| a == "--json");
     for a in &args {
-        if a != "--self-test" && a != "--require-bench" {
-            eprintln!("unknown flag `{a}` (expected --self-test and/or --require-bench)");
+        if a != "--self-test" && a != "--require-bench" && a != "--json" {
+            eprintln!("unknown flag `{a}` (expected --self-test, --require-bench, and/or --json)");
             std::process::exit(2);
         }
     }
 
     let current_store = ArtifactStore::from_env();
     let baseline_store = ArtifactStore::at(workspace_root());
+    let fingerprint = pooled_fingerprint(pipebd_tensor::parallel::default_pool_size());
 
     if self_test_mode {
         pipebd_bench::header(
             "Regression gate — self-test",
             "inject failing fixtures and prove every gate half fires",
         );
-        let perf_ok = self_test(&current_store, &baseline_store);
-        let scaling_ok = scaling_self_test(&current_store, &baseline_store);
-        let fault_ok = fault_self_test();
-        let recovery_ok = recovery_self_test();
-        if !perf_ok || !scaling_ok || !fault_ok || !recovery_ok {
+        let halves = [
+            ("selftest_perf", self_test(&current_store, &baseline_store)),
+            (
+                "selftest_scaling",
+                scaling_self_test(&current_store, &baseline_store),
+            ),
+            ("selftest_fault", fault_self_test()),
+            ("selftest_recovery", recovery_self_test()),
+        ];
+        let pass = halves.iter().all(|(_, ok)| *ok);
+        if json_mode {
+            let report = GateReport {
+                pass,
+                fingerprint,
+                checks: halves
+                    .iter()
+                    .map(|(name, ok)| GateCheck {
+                        name: (*name).to_string(),
+                        pass: *ok,
+                        detail: String::new(),
+                    })
+                    .collect(),
+                bubble_ratio: None,
+            };
+            persist_gate_report(&current_store, &report);
+        }
+        if !pass {
             std::process::exit(1);
         }
         println!(
@@ -699,6 +790,30 @@ fn main() {
 
     println!("== perf baselines ==");
     let perf_failures = perf_gate(&current_store, &baseline_store, require_bench);
+
+    if json_mode {
+        println!("== trace hook (bubble-ratio trend, non-fatal) ==");
+        let (trace_check, bubble_ratio) = trace_bubble_hook(&current_store);
+        let report = GateReport {
+            pass: conformance_failures == 0 && perf_failures == 0,
+            fingerprint,
+            checks: vec![
+                GateCheck {
+                    name: "conformance".into(),
+                    pass: conformance_failures == 0,
+                    detail: format!("{conformance_failures} scenario failure(s)"),
+                },
+                GateCheck {
+                    name: "perf_baselines".into(),
+                    pass: perf_failures == 0,
+                    detail: format!("{perf_failures} fatal regression(s)"),
+                },
+                trace_check,
+            ],
+            bubble_ratio,
+        };
+        persist_gate_report(&current_store, &report);
+    }
 
     if conformance_failures > 0 || perf_failures > 0 {
         eprintln!(

@@ -62,13 +62,24 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
 }
 
 /// Prints a standard harness header, including the active tensor
-/// [`KernelPolicy`](pipebd_tensor::KernelPolicy) so recorded experiment
-/// output is attributable to a compute path.
+/// [`KernelPolicy`](pipebd_tensor::KernelPolicy), the probed SIMD tier,
+/// the trace mode (`PIPEBD_TRACE`), and the worker-pool size, so recorded
+/// experiment output is attributable to a compute path *and* an
+/// observability configuration.
 pub fn header(title: &str, detail: &str) {
     println!("================================================================");
     println!("{title}");
     println!("{detail}");
-    println!("kernel policy: {}", pipebd_tensor::kernel_policy());
+    println!(
+        "kernel policy: {}  simd tier: {}",
+        pipebd_tensor::kernel_policy(),
+        pipebd_tensor::simd_tier()
+    );
+    println!(
+        "trace mode: {}  pool size: {}",
+        pipebd_trace::TraceMode::from_env().label(),
+        pipebd_tensor::parallel::default_pool_size()
+    );
     println!("================================================================");
 }
 

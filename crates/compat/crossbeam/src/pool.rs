@@ -32,7 +32,7 @@ use std::any::Any;
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -59,6 +59,27 @@ struct PoolShared {
     stealers: Vec<Stealer<Job>>,
     state: Mutex<PoolState>,
     work_available: Condvar,
+    /// Scheduling-event counters, relaxed: the trace plane snapshots them
+    /// at run end; they order against nothing.
+    steals: AtomicU64,
+    parks: AtomicU64,
+    wakes: AtomicU64,
+}
+
+/// A snapshot of a pool's scheduling-event counters.
+///
+/// * `steals` — jobs taken from a queue the taker does not own (the
+///   injector or another worker's deque); local LIFO pops don't count.
+/// * `parks` — times a worker went to sleep on the condvar.
+/// * `wakes` — wake-ups broadcast by job pushes (and shutdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Cross-queue job acquisitions.
+    pub steals: u64,
+    /// Worker park events.
+    pub parks: u64,
+    /// Wake-up broadcasts.
+    pub wakes: u64,
 }
 
 struct PoolState {
@@ -86,6 +107,7 @@ impl PoolShared {
         let mut st = self.state.lock().expect("pool state poisoned");
         st.stamp = st.stamp.wrapping_add(1);
         drop(st);
+        self.wakes.fetch_add(1, Ordering::Relaxed);
         self.work_available.notify_all();
     }
 
@@ -102,7 +124,10 @@ impl PoolShared {
         }
         loop {
             match self.injector.steal() {
-                Steal::Success(j) => return Some(j),
+                Steal::Success(j) => {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(j);
+                }
                 Steal::Empty => break,
                 Steal::Retry => continue,
             }
@@ -110,7 +135,10 @@ impl PoolShared {
         for s in &self.stealers {
             loop {
                 match s.steal() {
-                    Steal::Success(j) => return Some(j),
+                    Steal::Success(j) => {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(j);
+                    }
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 }
@@ -146,6 +174,9 @@ impl ThreadPool {
                 shutdown: false,
             }),
             work_available: Condvar::new(),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
         });
         let workers = deques
             .into_iter()
@@ -168,6 +199,15 @@ impl ThreadPool {
     /// Number of compute lanes (worker threads + the scoping caller).
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Snapshots the pool's scheduling-event counters (see [`PoolStats`]).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            parks: self.shared.parks.load(Ordering::Relaxed),
+            wakes: self.shared.wakes.load(Ordering::Relaxed),
+        }
     }
 
     /// Runs `op` with a [`Scope`] handle; every task spawned on the scope
@@ -347,6 +387,7 @@ fn worker_loop(shared: Arc<PoolShared>, deque: Worker<Job>) {
             if st.stamp != seen {
                 break;
             }
+            shared.parks.fetch_add(1, Ordering::Relaxed);
             st = shared.work_available.wait(st).expect("pool state poisoned");
         }
     }
@@ -430,6 +471,34 @@ mod tests {
             });
         });
         assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stats_observe_scheduling_events() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.stats(), PoolStats::default(), "idle pool is silent");
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {});
+            }
+        });
+        let st = pool.stats();
+        // The inline pool's caller takes every job from the injector.
+        assert_eq!(st.steals, 16);
+        assert_eq!(st.wakes, 16);
+        assert_eq!(st.parks, 0, "a size-1 pool has no workers to park");
+
+        let pooled = ThreadPool::new(3);
+        pooled.scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    std::thread::yield_now();
+                });
+            }
+        });
+        let st = pooled.stats();
+        assert!(st.wakes >= 32);
+        assert!(st.steals >= 1, "someone must have stolen from the injector");
     }
 
     #[test]

@@ -35,6 +35,7 @@ use pipebd_nn::BlockNet;
 use pipebd_sched::replan::replan;
 use pipebd_sched::{DegradedServer, StagePlan};
 use pipebd_sim::{FaultScript, HardwareConfig};
+use pipebd_trace::{SpanKind, TraceCollector};
 
 use super::fault::FaultDriver;
 use super::threaded::{self, RunHooks};
@@ -98,6 +99,10 @@ pub struct RecoveryRunner<'a> {
     pub policy: RecoveryPolicy,
     /// Where checkpoints go and restores come from.
     pub sink: Arc<dyn CheckpointSink>,
+    /// Optional trace collector: worker spans flow through the threaded
+    /// executor's hooks, and the runner itself records control-track
+    /// [`SpanKind::Restore`] / [`SpanKind::Replan`] events per attempt.
+    pub trace: Option<Arc<TraceCollector>>,
 }
 
 impl RecoveryRunner<'_> {
@@ -153,6 +158,7 @@ impl RecoveryRunner<'_> {
                     CheckpointPolicy::every(self.policy.checkpoint_every),
                     Arc::clone(&self.sink),
                 )),
+                trace: self.trace.clone(),
             };
             match threaded::run_hooked(teacher, student, data, &cfg, &hooks) {
                 Ok(outcome) => {
@@ -183,6 +189,7 @@ impl RecoveryRunner<'_> {
 
                     // Degraded membership at the loss step, then a fresh
                     // plan search over the survivors.
+                    let replan_t0 = self.trace.as_deref().map(TraceCollector::now_ns);
                     let hw = HardwareConfig::a6000_server(cfg.devices);
                     let server = DegradedServer::at_step(&hw, &script, step as u32)
                         .map_err(|v| ExecError::Config(format!("replan: {v}")))?;
@@ -190,6 +197,9 @@ impl RecoveryRunner<'_> {
                     let m = members.len();
                     let decision = replan(self.workload, &server, cfg.batch);
                     replans += 1;
+                    if let (Some(tc), Some(t0)) = (self.trace.as_deref(), replan_t0) {
+                        tc.event(SpanKind::Replan, step as u32, t0, tc.now_ns());
+                    }
                     let mut plan = decision.plan;
                     let indivisible = plan.stages.iter().any(|s| cfg.batch % s.width() != 0);
                     if (preserve_width1 && plan.uses_batch_split()) || indivisible {
@@ -202,12 +212,16 @@ impl RecoveryRunner<'_> {
                     script = script.for_survivors(&members);
                     cfg.devices = m;
                     cfg.plan = Some(plan);
+                    let restore_t0 = self.trace.as_deref().map(TraceCollector::now_ns);
                     resume = self
                         .sink
                         .latest()
                         .map_err(ExecError::Checkpoint)?
                         .map(Arc::new);
                     resumed_rounds.push(resume.as_ref().map_or(0, |c| c.round));
+                    if let (Some(tc), Some(t0)) = (self.trace.as_deref(), restore_t0) {
+                        tc.event(SpanKind::Restore, step as u32, t0, tc.now_ns());
+                    }
                 }
                 Err(e) => return Err(e),
             }

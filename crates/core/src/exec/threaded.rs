@@ -43,6 +43,7 @@ use pipebd_nn::{mse_loss, Block, BlockNet, Layer, Mode, Sgd};
 use pipebd_sched::StagePlan;
 use pipebd_tensor::parallel::{self, ComputePool};
 use pipebd_tensor::{SharedTensor, Tensor};
+use pipebd_trace::{Span, SpanKind, TraceCollector, TrackRecorder};
 
 use super::fault::{FaultAction, FaultDriver, ABORT_POLL};
 pub use super::ExecError;
@@ -50,8 +51,9 @@ use super::{FuncConfig, FuncOutcome};
 use crate::checkpoint::{self, BlockState, Checkpoint, CheckpointPolicy, CheckpointSink};
 
 /// Optional instrumentation for a threaded run: fault injection, a resume
-/// point, and checkpoint capture. [`run`] uses the empty default; the
-/// recovery protocol ([`super::recovery`]) wires all three.
+/// point, checkpoint capture, and span tracing. [`run`] uses the empty
+/// default; the recovery protocol ([`super::recovery`]) wires the first
+/// three, the trace plane the fourth.
 #[derive(Default)]
 pub struct RunHooks {
     /// Fault driver interpreting a `FaultScript` against the workers.
@@ -62,6 +64,11 @@ pub struct RunHooks {
     pub resume: Option<Arc<Checkpoint>>,
     /// Round-interval checkpoint capture into a sink.
     pub checkpoint: Option<(CheckpointPolicy, Arc<dyn CheckpointSink>)>,
+    /// Span collector for the trace plane. `None` (the `PIPEBD_TRACE=off`
+    /// case) costs exactly one branch per instrumentation point; tracing
+    /// observes the schedule and never the math, so traced runs stay
+    /// bitwise identical to untraced ones.
+    pub trace: Option<Arc<TraceCollector>>,
 }
 
 /// A per-round checkpoint fragment: one block's state, sent by the
@@ -73,6 +80,28 @@ struct WorkerHooks {
     driver: Option<Arc<FaultDriver>>,
     resume: Option<Arc<Checkpoint>>,
     ckpt: Option<(CheckpointPolicy, Sender<CkptFrag>)>,
+    trace: Option<Arc<TraceCollector>>,
+}
+
+/// Runs `f` inside a recorded span when a recorder is present (the span
+/// covers `f` exactly; with tracing off this is the one branch on `None`).
+fn spanned<T>(
+    rec: &mut Option<TrackRecorder>,
+    kind: SpanKind,
+    block: Option<u16>,
+    step: u32,
+    f: impl FnOnce() -> T,
+) -> T {
+    match rec {
+        None => f(),
+        Some(r) => {
+            let t0 = r.now_ns();
+            let out = f();
+            let t1 = r.now_ns();
+            r.record_span(kind, block, step, t0, t1);
+            out
+        }
+    }
 }
 
 /// A relayed activation: the sending member's index and its batch shard,
@@ -262,11 +291,17 @@ pub fn run_hooked(
     let ckpt_channel = hooks.checkpoint.as_ref().map(|_| unbounded::<CkptFrag>());
 
     let mut handles = Vec::with_capacity(roles.len());
+    // Kernel pools, retained (handle clones) so `full`-mode tracing can
+    // snapshot their steal/park/wake counters after the join.
+    let mut pools: Vec<ComputePool> = Vec::new();
     for role in roles {
         let barrier = Arc::clone(&barrier);
         let data = Arc::clone(&data);
         let cfg = Arc::clone(&cfg_arc);
         let pool = ComputePool::new(intra_widths[role.device]);
+        if hooks.trace.as_ref().is_some_and(|t| t.full()) {
+            pools.push(pool.clone());
+        }
         let wh = WorkerHooks {
             driver: hooks.driver.clone(),
             resume: hooks.resume.clone(),
@@ -274,6 +309,7 @@ pub fn run_hooked(
                 let (tx, _) = ckpt_channel.as_ref().expect("channel exists");
                 (*policy, tx.clone())
             }),
+            trace: hooks.trace.clone(),
         };
         handles.push(std::thread::spawn(move || {
             parallel::install(&pool, || worker(role, barrier, data, cfg, wh))
@@ -339,6 +375,18 @@ pub fn run_hooked(
             }
         }
     }
+    // With every worker joined, the pool counters are final; aggregate
+    // them into the metrics registry (full mode retained the handles).
+    if let Some(tc) = &hooks.trace {
+        let m = tc.metrics();
+        for pool in &pools {
+            let st = pool.stats();
+            m.counter("pool.steals").add(st.steals);
+            m.counter("pool.parks").add(st.parks);
+            m.counter("pool.wakes").add(st.wakes);
+        }
+    }
+
     if !errors.is_empty() {
         let idx = errors
             .iter()
@@ -410,6 +458,13 @@ fn worker(
         }
     }
     let driver = hooks.driver.as_deref();
+    // Trace plane: one ring recorder per worker thread, flushed into the
+    // collector when this function returns (recorder drop). With tracing
+    // off (`None`) every instrumentation point below is a single branch.
+    let mut rec = hooks
+        .trace
+        .as_ref()
+        .map(|t| t.recorder(role.device, role.stage_index, role.member));
     // Out-of-order relay buffering: with decoupled updates a fast upstream
     // member may deliver step s+1 before a slow one delivers step s. Each
     // sender's channel order is its step order, so one FIFO per upstream
@@ -429,63 +484,102 @@ fn worker(
         }
 
         // (1) Input: load data (stage 0) or receive the relayed activation.
-        let input: SharedTensor = if role.stage_index == 0 {
-            if let Some(d) = driver {
-                d.before_load(step);
+        let input: SharedTensor = spanned(&mut rec, SpanKind::Load, None, step as u32, || {
+            if role.stage_index == 0 {
+                if let Some(d) = driver {
+                    d.before_load(step);
+                }
+                // Sample generation is per-index deterministic, so each member
+                // materializes exactly its own shard — identical values to
+                // splitting a full batch (widths divide the batch), without
+                // generating the other members' rows only to discard them.
+                let shard = cfg.batch / role.width;
+                let start = step as u64 * cfg.batch as u64 + (role.member * shard) as u64;
+                let (x, _labels) = data.batch(start, shard);
+                Ok(SharedTensor::new(x))
+            } else {
+                let rx = role.input_rx.as_ref().expect("non-first stage receives");
+                let prev_shards = receive_full_batch(rx, &mut shard_queues, driver)?;
+                reshard(prev_shards, role.width, role.member)
             }
-            // Sample generation is per-index deterministic, so each member
-            // materializes exactly its own shard — identical values to
-            // splitting a full batch (widths divide the batch), without
-            // generating the other members' rows only to discard them.
-            let shard = cfg.batch / role.width;
-            let start = step as u64 * cfg.batch as u64 + (role.member * shard) as u64;
-            let (x, _labels) = data.batch(start, shard);
-            SharedTensor::new(x)
-        } else {
-            let rx = role.input_rx.as_ref().expect("non-first stage receives");
-            let prev_shards = receive_full_batch(rx, &mut shard_queues, driver)?;
-            reshard(prev_shards, role.width, role.member)?
-        };
+        })?;
 
         // (2) Teacher blocks, collecting every boundary (lines 10–11).
         // Each boundary is wrapped in a shared handle once; caching it and
         // relaying it downstream are refcount bumps, never buffer copies.
         let mut boundaries: Vec<SharedTensor> = Vec::with_capacity(num_blocks);
         let mut cur = input.clone();
-        for t in &mut role.teacher_blocks {
-            cur = SharedTensor::new(t.forward(&cur, Mode::Eval)?);
+        for (bi, t) in role.teacher_blocks.iter_mut().enumerate() {
+            let block = Some((role.first_block + bi) as u16);
+            cur = spanned(&mut rec, SpanKind::Teacher, block, step as u32, || {
+                Ok::<_, ExecError>(SharedTensor::new(t.forward(&cur, Mode::Eval)?))
+            })?;
             boundaries.push(cur.clone());
         }
-        // Relay the final boundary to every member of the next stage.
-        for tx in &role.output_tx {
-            tx.send((role.member, cur.clone()))
-                .map_err(|_| hangup(driver, "next stage"))?;
+        // Relay the final boundary to every member of the next stage. The
+        // span carries the logical relay volume (f32 payload × receivers);
+        // the send itself is a refcount bump, so the duration measures
+        // channel handoff, not a copy.
+        if !role.output_tx.is_empty() {
+            let t0 = rec.as_mut().map(|r| r.now_ns());
+            for tx in &role.output_tx {
+                tx.send((role.member, cur.clone()))
+                    .map_err(|_| hangup(driver, "next stage"))?;
+            }
+            if let (Some(r), Some(t0)) = (rec.as_mut(), t0) {
+                let t1 = r.now_ns();
+                let bytes = (cur.numel() * 4 * role.output_tx.len()) as u64;
+                r.record(Span {
+                    kind: SpanKind::Relay,
+                    block: None,
+                    step: step as u32,
+                    t0_ns: t0,
+                    t1_ns: t1,
+                    bytes,
+                });
+                if r.full() {
+                    r.metrics().counter("relay.bytes").add(bytes);
+                    r.metrics().counter("relay.sends").inc();
+                }
+            }
         }
 
         // (3) Students forward/backward (lines 12–13).
         let mut step_losses = Vec::with_capacity(num_blocks);
         for (i, s) in role.student_blocks.iter_mut().enumerate() {
-            let s_in = if i == 0 { &input } else { &boundaries[i - 1] };
-            let s_out = s.forward(s_in, Mode::Train)?;
-            let loss = mse_loss(&s_out, &boundaries[i])?;
-            s.backward(&loss.grad)?;
-            step_losses.push(loss.loss);
+            let block = Some((role.first_block + i) as u16);
+            let loss = spanned(&mut rec, SpanKind::Student, block, step as u32, || {
+                let s_in = if i == 0 { &input } else { &boundaries[i - 1] };
+                let s_out = s.forward(s_in, Mode::Train)?;
+                let loss = mse_loss(&s_out, &boundaries[i])?;
+                s.backward(&loss.grad)?;
+                Ok::<_, ExecError>(loss.loss)
+            })?;
+            step_losses.push(loss);
         }
 
         // (4) Gradient sharing within a widened stage (line 14).
         if role.width > 1 {
-            share_gradients(&mut role, &mut step_losses, driver)?;
+            spanned(&mut rec, SpanKind::GradShare, None, step as u32, || {
+                share_gradients(&mut role, &mut step_losses, driver)
+            })?;
         }
 
         // (5) Barrier unless decoupled (line 15).
         if !cfg.decoupled_updates {
-            barrier.wait();
+            spanned(&mut rec, SpanKind::Barrier, None, step as u32, || {
+                barrier.wait();
+            });
         }
 
         // (6) Updates (line 16).
         for (i, s) in role.student_blocks.iter_mut().enumerate() {
-            optims[i].step(s)?;
-            pipebd_nn::zero_grad(s);
+            let block = Some((role.first_block + i) as u16);
+            spanned(&mut rec, SpanKind::Update, block, step as u32, || {
+                optims[i].step(s)?;
+                pipebd_nn::zero_grad(s);
+                Ok::<_, ExecError>(())
+            })?;
             losses[i].push(step_losses[i]);
         }
 
@@ -496,16 +590,20 @@ fn worker(
             if let Some((policy, tx)) = &hooks.ckpt {
                 let done = step + 1;
                 if policy.due(done, cfg.steps) {
-                    for (i, s) in role.student_blocks.iter_mut().enumerate() {
-                        let state = checkpoint::capture_block(
-                            s,
-                            role.first_block + i,
-                            &optims[i],
-                            &losses[i],
-                        );
-                        tx.send((done, state))
-                            .map_err(|_| ExecError::Checkpoint("assembly loop hung up".into()))?;
-                    }
+                    spanned(&mut rec, SpanKind::Checkpoint, None, step as u32, || {
+                        for (i, s) in role.student_blocks.iter_mut().enumerate() {
+                            let state = checkpoint::capture_block(
+                                s,
+                                role.first_block + i,
+                                &optims[i],
+                                &losses[i],
+                            );
+                            tx.send((done, state)).map_err(|_| {
+                                ExecError::Checkpoint("assembly loop hung up".into())
+                            })?;
+                        }
+                        Ok::<_, ExecError>(())
+                    })?;
                 }
             }
         }

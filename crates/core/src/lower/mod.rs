@@ -13,7 +13,7 @@ pub mod ls;
 pub mod relay;
 
 use pipebd_models::Workload;
-use pipebd_sched::{CostModel, LsAssignment, StagePlan};
+use pipebd_sched::{CostModel, LsAssignment, ProfileTable, StagePlan};
 use pipebd_sim::{HardwareConfig, Resource, SimTime, TaskGraph, TaskId, TaskKind};
 
 use crate::strategy::Strategy;
@@ -35,6 +35,11 @@ pub struct Lowering<'a> {
     pub batch: usize,
     /// Number of forward/backward rounds to emit (for DP: per phase).
     pub rounds: u32,
+    /// Measured per-block timing override. When set, block durations come
+    /// from this profile instead of the analytic [`CostModel`] — the trace
+    /// plane replays an *observed* executor run through the simulator this
+    /// way. `None` (the default) leaves lowering bit-identical to before.
+    pub profile: Option<&'a ProfileTable>,
 }
 
 impl<'a> Lowering<'a> {
@@ -46,7 +51,16 @@ impl<'a> Lowering<'a> {
             cost: CostModel::new(hw.gpu.clone()),
             batch,
             rounds,
+            profile: None,
         }
+    }
+
+    /// Returns this context with block durations taken from a measured
+    /// profile (see [`Lowering::profile`]).
+    #[must_use]
+    pub fn with_profile(mut self, profile: &'a ProfileTable) -> Self {
+        self.profile = Some(profile);
+        self
     }
 
     /// Emits the decode (loader pool) and consume (device-side collate +
@@ -86,18 +100,27 @@ impl<'a> Lowering<'a> {
 
     /// Teacher execution duration for one block at a per-device batch.
     pub(crate) fn teacher(&self, block: usize, batch: usize) -> SimTime {
+        if let Some(p) = self.profile {
+            return p.teacher_time(block, batch);
+        }
         self.cost
             .teacher_time(&self.workload.model.blocks[block], batch)
     }
 
     /// Student execution duration for one block at a per-device batch.
     pub(crate) fn student(&self, block: usize, batch: usize) -> SimTime {
+        if let Some(p) = self.profile {
+            return p.student_time(block, batch);
+        }
         self.cost
             .student_time(&self.workload.model.blocks[block], batch)
     }
 
     /// Update duration for one block.
     pub(crate) fn update(&self, block: usize) -> SimTime {
+        if let Some(p) = self.profile {
+            return p.update_time(block);
+        }
         self.cost.update_time(&self.workload.model.blocks[block])
     }
 }

@@ -82,6 +82,7 @@ proptest! {
                 CheckpointPolicy::every(2),
                 Arc::clone(&sink) as Arc<dyn CheckpointSink>,
             )),
+            trace: None,
         };
         threaded::run_hooked(&teacher, &student, &data, &cfg, &hooks).unwrap();
 
@@ -127,6 +128,7 @@ proptest! {
                 ..RecoveryPolicy::default()
             },
             sink: Arc::new(MemorySink::default()),
+            trace: None,
         };
         let report = runner.run(&teacher, &student, &data, &cfg).unwrap();
         prop_assert!(
@@ -169,6 +171,7 @@ proptest! {
             script: &script,
             policy: RecoveryPolicy::default(),
             sink: Arc::new(MemorySink::default()),
+            trace: None,
         };
         let report = runner.run(&teacher, &student, &data, &cfg).unwrap();
         prop_assert_eq!(report.restores, 0);

@@ -33,6 +33,7 @@
 use std::cell::{Cell, RefCell};
 use std::sync::{Arc, OnceLock};
 
+pub use crossbeam::pool::PoolStats;
 use crossbeam::pool::{Scope, ThreadPool};
 
 /// A shareable handle to a work-stealing pool sized for kernel work.
@@ -54,6 +55,12 @@ impl ComputePool {
     /// Number of compute lanes.
     pub fn size(&self) -> usize {
         self.inner.size()
+    }
+
+    /// Snapshots the pool's steal/park/wake counters (the trace plane
+    /// reads these after a run; they never affect kernel results).
+    pub fn stats(&self) -> PoolStats {
+        self.inner.stats()
     }
 
     /// Runs `op` with a [`PoolScope`] for spawning kernel tasks; returns

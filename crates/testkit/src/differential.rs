@@ -335,6 +335,7 @@ fn recovery_differential(s: &Scenario, fault: &FaultCase) -> Result<RecoveryMeas
         script: &fault.script,
         policy: RecoveryPolicy::default(),
         sink: Arc::new(MemorySink::default()),
+        trace: None,
     };
     let report = runner
         .run(&teacher, &student, &data, &func)

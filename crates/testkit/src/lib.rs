@@ -58,6 +58,7 @@
 mod differential;
 mod scenario;
 mod tolerance;
+mod trace;
 
 pub use differential::{
     round_period_of, run_scenario, simulated_round_period, ConformanceReport, ScenarioOutcome,
@@ -67,3 +68,6 @@ pub use scenario::{
     enumerate, ConformanceStrategy, FaultCase, FaultClass, Scenario, ScenarioSet, SimWorkload,
 };
 pub use tolerance::{RatioBudget, ToleranceBook};
+pub use trace::{
+    compute_lanes, run_trace_scenario, trace_scenarios, TraceRun, TRACE_STEPS, TRACE_TAIL,
+};

@@ -146,6 +146,7 @@ fn join_scripts_are_rejected_structurally() {
         script: &script,
         policy: RecoveryPolicy::default(),
         sink: Arc::new(MemorySink::default()),
+        trace: None,
     };
     let err = runner
         .run(&teacher, &student, &data, &func)

@@ -1,0 +1,354 @@
+//! Hand-rolled metrics registry: counters, gauges, and fixed-bucket
+//! log₂-scale histograms.
+//!
+//! Hot-path operations are single relaxed atomic RMWs on pre-registered
+//! handles; only registration (get-or-create by name) takes a lock. The
+//! registry snapshots into plain serializable structs for the
+//! `pipebd.trace` artifact envelope — this is the substrate the ROADMAP's
+//! serving plane will reuse for p50/p99/p999 latency artifacts.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket 0 holds zeros; bucket `i > 0`
+/// holds values in `[2^(i-1), 2^i)`; the last bucket absorbs everything
+/// above `2^62`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket log₂ histogram over `u64` samples (durations in
+/// nanoseconds, payload bytes, ...). Recording is one relaxed
+/// `fetch_add`; bucket bounds are powers of two, so the bucket index is a
+/// leading-zeros count — no floats, no search.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value lands in.
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()).min(HISTOGRAM_BUCKETS as u32 - 1) as usize
+    }
+
+    /// The half-open value range `[lo, hi)` of bucket `i` (the last
+    /// bucket's `hi` saturates to `u64::MAX`).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            return (0, 1);
+        }
+        let lo = 1u64 << (i - 1);
+        let hi = if i == HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << i
+        };
+        (lo, hi)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let count = b.load(Ordering::Relaxed);
+            if count > 0 {
+                let (lo, hi) = Self::bucket_bounds(i);
+                buckets.push(HistogramBucket { lo, hi, count });
+            }
+        }
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count: buckets.iter().map(|b| b.count).sum(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Named metrics, registered on demand and snapshotted at run end.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().expect("metrics lock");
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Returns the gauge `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().expect("metrics lock");
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.lock().expect("metrics lock");
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Snapshots every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().expect("metrics lock");
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push(CounterSnapshot {
+                    name: name.clone(),
+                    value: c.get(),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSnapshot {
+                    name: name.clone(),
+                    value: g.get(),
+                }),
+                Metric::Histogram(h) => snap.histograms.push(h.snapshot(name)),
+            }
+        }
+        snap
+    }
+}
+
+/// A counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value.
+    pub value: u64,
+}
+
+/// A gauge's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value.
+    pub value: i64,
+}
+
+/// One occupied histogram bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive lower bound of the bucket's value range.
+    pub lo: u64,
+    /// Exclusive upper bound (saturating for the last bucket).
+    pub hi: u64,
+    /// Samples in the bucket.
+    pub count: u64,
+}
+
+/// A histogram's occupied buckets at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Occupied buckets, ascending.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// Everything a registry held, in serializable form.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter's value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        // Every value's bucket bounds contain it.
+        for v in [0u64, 1, 2, 7, 1000, 1 << 40, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(v));
+            assert!(lo <= v, "{v} below bucket lo {lo}");
+            assert!(v < hi || hi == u64::MAX, "{v} at or above bucket hi {hi}");
+        }
+        // Adjacent buckets tile without gaps.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(
+                Histogram::bucket_bounds(i).1,
+                Histogram::bucket_bounds(i + 1).0
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1004);
+        let snap = h.snapshot("t");
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 1004);
+        assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_handles() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(2);
+        r.counter("a").inc();
+        r.gauge("g").set(-5);
+        r.histogram("h").record(9);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), Some(3));
+        assert_eq!(snap.gauges[0].value, -5);
+        assert_eq!(snap.histograms[0].count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.gauge("x");
+        r.counter("x");
+    }
+}
