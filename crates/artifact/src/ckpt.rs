@@ -102,6 +102,7 @@ mod tests {
             batch: 8,
             lr: 0.05,
             momentum: 0.9,
+            plan_fingerprint: "1x1:test".to_string(),
             blocks: vec![BlockState {
                 block: 0,
                 params: vec![],

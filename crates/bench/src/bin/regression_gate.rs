@@ -26,6 +26,10 @@
 //!   must kill and restore the threaded run bitwise under the declared
 //!   policy, fire a structured `RecoveryExhausted` under a sabotaged
 //!   zero-restore budget, and a torn checkpoint file must error loudly.
+//!   Rejoin: an elastic host-join script must complete end to end
+//!   bitwise through the device-thread registry (no restore budget
+//!   spent), and a planted stale-plan checkpoint must fail the rejoin
+//!   loudly with the structured plan-fingerprint mismatch.
 //!   Exit 0 iff every probe behaved correctly both ways.
 //!
 //! Flags / environment:
@@ -500,6 +504,144 @@ fn recovery_self_test() -> bool {
     true
 }
 
+/// Proves the elastic-rejoin gate fires, both ways:
+///
+/// * a host-join script — the exact shape the executor used to reject
+///   with a structured `Config` error ("fixed thread set") — must now
+///   complete end to end under the declared policy: the device-thread
+///   registry grows the worker set at the join's round boundary, the
+///   growth spends no restore budget, and the recovered width-1 run
+///   replays the uninterrupted reference *bitwise*;
+/// * a **stale-plan checkpoint** planted in the sink (a foreign
+///   fingerprint at a winning round) must make the rejoin fail loudly
+///   with the structured plan-fingerprint mismatch — never a silent
+///   resume of another run's trajectory.
+fn rejoin_self_test() -> bool {
+    use pipebd_core::exec::recovery::{RecoveryPolicy, RecoveryRunner};
+    use pipebd_core::exec::{ExecError, FuncConfig};
+    use pipebd_core::{Checkpoint, CheckpointSink, MemorySink};
+    use pipebd_data::SyntheticImageDataset;
+    use pipebd_models::{mini_student_dsconv, mini_teacher, MiniConfig, Workload};
+    use pipebd_sim::{FaultEvent, FaultScript};
+    use pipebd_tensor::Rng64;
+    use std::sync::Arc;
+
+    let cfg = MiniConfig {
+        blocks: 4,
+        channels: 6,
+        batch_norm: false,
+    };
+    let mut rng = Rng64::seed_from_u64(31);
+    let teacher = mini_teacher(cfg, &mut rng);
+    let student = mini_student_dsconv(cfg, &mut rng);
+    let data = SyntheticImageDataset::mini(64, 8, 4, 37);
+    let workload = Workload::synthetic(4, false);
+    // Rank 1 of the 2-rank set is absent at step 0 and joins at step 3:
+    // the first epoch runs short-handed, the registry admits the host at
+    // the round-3 boundary.
+    let script = FaultScript {
+        events: vec![FaultEvent::HostJoin {
+            rank: 1,
+            at_step: 3,
+        }],
+    };
+    let func = FuncConfig {
+        devices: 2,
+        steps: 6,
+        batch: 8,
+        lr: 0.05,
+        momentum: 0.9,
+        plan: None,
+        decoupled_updates: true,
+        pool_size: Some(1),
+    };
+
+    // Honest half: the join grows the member set and replays bitwise.
+    let honest = RecoveryRunner {
+        workload: &workload,
+        script: &script,
+        policy: RecoveryPolicy::default(),
+        sink: Arc::new(MemorySink::default()),
+        trace: None,
+    };
+    let report = match honest.run(&teacher, &student, &data, &func) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rejoin self-test FAILED: honest join run errored: {e}");
+            return false;
+        }
+    };
+    if report.grows == 0 {
+        eprintln!("rejoin self-test FAILED: the join never grew the member set");
+        return false;
+    }
+    if report.restores != 0 || report.fell_back {
+        eprintln!(
+            "rejoin self-test FAILED: growth spent restore budget ({} restore(s), fell_back {})",
+            report.restores, report.fell_back
+        );
+        return false;
+    }
+    let golden = match pipebd_core::exec::reference::run(&teacher, &student, &data, &func) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("rejoin self-test FAILED: reference run errored: {e}");
+            return false;
+        }
+    };
+    let diff = report.outcome.max_param_diff(&golden);
+    if diff != 0.0 {
+        eprintln!(
+            "rejoin self-test FAILED: grown width-1 run drifted {diff:e} from the uninterrupted reference"
+        );
+        return false;
+    }
+
+    // Sabotaged half: plant a checkpoint from a foreign plan at a round
+    // that wins the sink's round-max race. The rejoin's restore must
+    // refuse it with the structured mismatch, not resume it.
+    let sink = Arc::new(MemorySink::default());
+    let stale = Checkpoint {
+        round: 99,
+        data_cursor: 99 * 8,
+        batch: 8,
+        lr: 0.05,
+        momentum: 0.9,
+        plan_fingerprint: "9x9:0000000000000bad".to_string(),
+        blocks: vec![],
+    };
+    if let Err(e) = sink.store(&stale) {
+        eprintln!("rejoin self-test FAILED: could not plant the stale checkpoint: {e}");
+        return false;
+    }
+    let sabotaged = RecoveryRunner {
+        workload: &workload,
+        script: &script,
+        policy: RecoveryPolicy::default(),
+        sink: Arc::clone(&sink) as Arc<dyn CheckpointSink>,
+        trace: None,
+    };
+    match sabotaged.run(&teacher, &student, &data, &func) {
+        Err(ExecError::Checkpoint(msg)) if msg.contains("plan fingerprint mismatch") => {}
+        Err(e) => {
+            eprintln!("rejoin self-test FAILED: stale checkpoint produced the wrong error: {e}");
+            return false;
+        }
+        Ok(_) => {
+            eprintln!(
+                "rejoin self-test FAILED: a stale-plan checkpoint resumed silently — the lineage gate never fires"
+            );
+            return false;
+        }
+    }
+
+    println!(
+        "rejoin self-test: join grew the member set ({} grow(s), resumed rounds {:?}), replay bitwise; stale-plan checkpoint refused with the structured mismatch",
+        report.grows, report.resumed_rounds
+    );
+    true
+}
+
 /// Proves the perf gate fires: an injected baseline that makes the current
 /// run look 2× slower must produce regressions; the current run against
 /// itself must not.
@@ -749,6 +891,7 @@ fn main() {
             ),
             ("selftest_fault", fault_self_test()),
             ("selftest_recovery", recovery_self_test()),
+            ("selftest_rejoin", rejoin_self_test()),
         ];
         let pass = halves.iter().all(|(_, ok)| *ok);
         if json_mode {
@@ -771,7 +914,7 @@ fn main() {
             std::process::exit(1);
         }
         println!(
-            "regression gate self-test passed (perf + thread-scaling + fault budgets + recovery)"
+            "regression gate self-test passed (perf + thread-scaling + fault budgets + recovery + rejoin)"
         );
         return;
     }

@@ -88,6 +88,15 @@ pub struct Checkpoint {
     pub lr: f32,
     /// SGD momentum of the run.
     pub momentum: f32,
+    /// Structural fingerprint of the [`StagePlan`] the writing run
+    /// executed under (`StagePlan::fingerprint`; empty when the run used
+    /// the default contiguous plan implicitly). Restores check it against
+    /// the restoring run's plan *lineage* — a checkpoint written under a
+    /// plan the recovery never ran is mismatched state, not a resume
+    /// point.
+    ///
+    /// [`StagePlan`]: pipebd_sched::StagePlan
+    pub plan_fingerprint: String,
     /// Per-block state, sorted by block index, one entry per block.
     pub blocks: Vec<BlockState>,
 }
@@ -256,6 +265,38 @@ pub trait CheckpointSink: Send + Sync {
     /// Returns the sink-specific failure as text (a torn on-disk
     /// envelope is an error, never silently `None`).
     fn latest(&self) -> Result<Option<Checkpoint>, String>;
+
+    /// [`CheckpointSink::latest`], gated on plan lineage: the checkpoint's
+    /// `plan_fingerprint` must be one of `lineage` (the fingerprints of
+    /// every plan the restoring recovery has run under). A checkpoint
+    /// written under a foreign plan is **mismatched state** — silently
+    /// resuming it would splice another run's trajectory into this one —
+    /// so it is a structured error, distinct from a torn envelope (which
+    /// `latest` already reports as its own sink-specific text).
+    ///
+    /// Checkpoints with an empty fingerprint predate the lineage stamp
+    /// and pass unchecked.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink failure verbatim, or a
+    /// `"plan fingerprint mismatch: ..."` message for a foreign
+    /// checkpoint.
+    fn latest_matching(&self, lineage: &[String]) -> Result<Option<Checkpoint>, String> {
+        let Some(ckpt) = self.latest()? else {
+            return Ok(None);
+        };
+        if !ckpt.plan_fingerprint.is_empty() && !lineage.contains(&ckpt.plan_fingerprint) {
+            return Err(format!(
+                "plan fingerprint mismatch: checkpoint at round {} written under `{}`, \
+                 expected one of [{}]",
+                ckpt.round,
+                ckpt.plan_fingerprint,
+                lineage.join(", ")
+            ));
+        }
+        Ok(Some(ckpt))
+    }
 }
 
 /// An in-memory [`CheckpointSink`] keeping the highest-round checkpoint.
@@ -312,6 +353,7 @@ mod tests {
             batch,
             lr: 0.05,
             momentum: 0.9,
+            plan_fingerprint: "1x1:test".to_string(),
             blocks: vec![BlockState {
                 block: 0,
                 params: vec![TensorSnapshot::of(&t)],
@@ -381,5 +423,28 @@ mod tests {
         sink.store(&tiny_checkpoint(4, 8)).unwrap();
         assert_eq!(sink.latest().unwrap().unwrap().round, 6);
         assert_eq!(sink.stored(), 3);
+    }
+
+    #[test]
+    fn latest_matching_gates_on_plan_lineage() {
+        let sink = MemorySink::new();
+        assert!(sink.latest_matching(&[]).unwrap().is_none(), "empty sink");
+        sink.store(&tiny_checkpoint(2, 8)).unwrap();
+        // In-lineage fingerprint resumes.
+        let lineage = vec!["0x0:dead".to_string(), "1x1:test".to_string()];
+        assert_eq!(sink.latest_matching(&lineage).unwrap().unwrap().round, 2);
+        // Foreign fingerprint is a structured error, not a silent resume.
+        let err = sink
+            .latest_matching(&["2x2:beef".to_string()])
+            .expect_err("foreign plan must not resume");
+        assert!(
+            err.contains("plan fingerprint mismatch") && err.contains("1x1:test"),
+            "unexpected error: {err}"
+        );
+        // Pre-stamp checkpoints (empty fingerprint) pass unchecked.
+        let mut legacy = tiny_checkpoint(4, 8);
+        legacy.plan_fingerprint.clear();
+        sink.store(&legacy).unwrap();
+        assert_eq!(sink.latest_matching(&[]).unwrap().unwrap().round, 4);
     }
 }

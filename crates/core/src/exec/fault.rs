@@ -15,11 +15,20 @@
 //!   hanging on a peer that will never send.
 //! * **Loader slowdown** pauses stage-0 data loading the same way.
 //!
-//! Host *join* events are rejected at construction: the executor spawns a
-//! fixed thread set, so an elastic join is unrealizable (the simulator
-//! still models joins for timing). Non-decoupled configs are rejected
-//! too — a `Barrier` over a thread that will be cancelled is a deadlock
-//! by construction, and the recovery plane must never hang.
+//! * **Host join** events for ranks *beyond* the current worker set are
+//!   accepted as pending growth: the step gate returns
+//!   [`FaultAction::Grow`] at the earliest join step, every incumbent
+//!   worker stops cleanly at that round boundary with
+//!   [`ExecError::MembershipGrow`], and the recovery plane re-wires the
+//!   channel graph over the enlarged member set (see
+//!   `exec::recovery`). A join targeting a rank *inside* the worker set
+//!   is still rejected at construction — that member already exists, so
+//!   the script must be projected (`FaultScript::for_survivors`) before
+//!   a driver is built over it.
+//!
+//! Non-decoupled configs with a non-healthy script are rejected too — a
+//! `Barrier` over a thread that will be cancelled is a deadlock by
+//! construction, and the recovery plane must never hang.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -46,6 +55,11 @@ pub enum FaultAction {
     /// The rank is lost from this step on: cancel in-flight work and
     /// return [`ExecError::RankLost`].
     Lost,
+    /// A scripted join came due: the epoch ends at this round boundary so
+    /// the registry can re-wire the channel graph over the enlarged
+    /// member set. Every incumbent stops here and returns
+    /// [`ExecError::MembershipGrow`].
+    Grow,
 }
 
 /// Deterministic interpreter of a [`FaultScript`] over executor threads.
@@ -58,31 +72,51 @@ pub struct FaultDriver {
     abort: AtomicBool,
     /// Earliest observed loss as `(rank, step)`.
     lost: Mutex<Option<(usize, usize)>>,
+    /// Earliest pending-join step: the round at which the current epoch
+    /// must stop so the member set can grow. `None` when no growth is
+    /// scripted.
+    grow: Option<usize>,
 }
 
 impl FaultDriver {
-    /// Builds a driver for `script` over `devices` ranks.
+    /// Builds a driver for `script` over `devices` ranks. Join events for
+    /// ranks `>= devices` are accepted as pending growth (they must
+    /// extend the worker set contiguously — the shape
+    /// `FaultScript::for_survivors` produces); the script is validated
+    /// against the grown rank space.
     ///
     /// # Errors
     ///
     /// Returns [`ExecError::Config`] when the script fails
-    /// [`FaultScript::validate`], contains a host join (the executor's
-    /// thread set is fixed), or `decoupled` is false (a barrier over a
-    /// cancellable thread deadlocks).
+    /// [`FaultScript::validate`], contains a join for a rank already in
+    /// the worker set (project the script first), scatters its join
+    /// ranks non-contiguously, or `decoupled` is false with a non-healthy
+    /// script (a barrier over a cancellable thread deadlocks).
     pub fn new(script: &FaultScript, devices: usize, decoupled: bool) -> Result<Self, ExecError> {
-        script
-            .validate(devices)
-            .map_err(|v| ExecError::Config(format!("fault script rejected: {v}")))?;
         if let Some(FaultEvent::HostJoin { rank, at_step }) = script
             .events
             .iter()
-            .find(|e| matches!(e, FaultEvent::HostJoin { .. }))
+            .find(|e| matches!(e, FaultEvent::HostJoin { rank, .. } if *rank < devices))
         {
             return Err(ExecError::Config(format!(
-                "host join (rank {rank} at step {at_step}) is unrealizable: \
-                 the executor spawns a fixed thread set"
+                "host join (rank {rank} at step {at_step}) targets a rank already \
+                 in the {devices}-rank worker set: project the script with \
+                 for_survivors after membership changes"
             )));
         }
+        let pending = script.pending_joins(devices);
+        let total = devices + pending.len();
+        let mut join_ranks: Vec<usize> = pending.iter().map(|&(r, _)| r).collect();
+        join_ranks.sort_unstable();
+        if join_ranks != (devices..total).collect::<Vec<_>>() {
+            return Err(ExecError::Config(format!(
+                "pending join ranks {join_ranks:?} must extend the {devices}-rank \
+                 worker set contiguously (project the script with for_survivors)"
+            )));
+        }
+        script
+            .validate(total)
+            .map_err(|v| ExecError::Config(format!("fault script rejected: {v}")))?;
         if !decoupled && !script.is_healthy() {
             return Err(ExecError::Config(
                 "fault injection requires decoupled updates: a barrier over a \
@@ -90,10 +124,12 @@ impl FaultDriver {
                     .into(),
             ));
         }
+        let grow = pending.iter().map(|&(_, s)| s as usize).min();
         Ok(FaultDriver {
             script: script.clone(),
             abort: AtomicBool::new(false),
             lost: Mutex::new(None),
+            grow,
         })
     }
 
@@ -103,6 +139,7 @@ impl FaultDriver {
             script: FaultScript::healthy(),
             abort: AtomicBool::new(false),
             lost: Mutex::new(None),
+            grow: None,
         }
     }
 
@@ -111,9 +148,20 @@ impl FaultDriver {
         &self.script
     }
 
+    /// The round at which the current epoch must stop for the member set
+    /// to grow (the earliest pending-join step), if any.
+    pub fn grow_step(&self) -> Option<usize> {
+        self.grow
+    }
+
     /// Step gate for GPU `rank` entering training step `step`: serves the
-    /// rank's slowdown pause (wall-clock only) and reports losses.
+    /// rank's slowdown pause (wall-clock only) and reports growth and
+    /// losses. Growth wins over a same-step loss — the epoch ends at the
+    /// boundary and the loss fires under the re-wired member set.
     pub fn before_step(&self, rank: usize, step: usize) -> FaultAction {
+        if matches!(self.grow, Some(g) if step >= g) {
+            return FaultAction::Grow;
+        }
         let step32 = step.min(u32::MAX as usize) as u32;
         if !self.script.alive(rank, step32) {
             self.record_loss(rank, step);
@@ -174,23 +222,71 @@ mod tests {
     }
 
     #[test]
-    fn rejects_joins_and_coupled_updates() {
+    fn rejects_in_set_joins_and_coupled_updates() {
+        // A join for a rank already inside the worker set is a script
+        // that should have been projected first.
         let join = FaultScript {
             events: vec![FaultEvent::HostJoin {
                 rank: 1,
                 at_step: 3,
             }],
         };
-        assert!(matches!(
-            FaultDriver::new(&join, 2, true),
-            Err(ExecError::Config(_))
-        ));
+        match FaultDriver::new(&join, 2, true) {
+            Err(ExecError::Config(m)) => assert!(m.contains("already"), "got: {m}"),
+            other => panic!("expected Config rejection, got {other:?}"),
+        }
         assert!(matches!(
             FaultDriver::new(&loss_script(0, 2), 2, false),
             Err(ExecError::Config(_))
         ));
         // A healthy script is fine even with a barrier.
         FaultDriver::new(&FaultScript::healthy(), 2, false).expect("healthy + barrier ok");
+    }
+
+    #[test]
+    fn future_joins_arm_the_grow_gate() {
+        // Rank 2 joins a 2-rank worker set at step 3: accepted as pending
+        // growth, and every incumbent stops at exactly that round.
+        let join = FaultScript {
+            events: vec![FaultEvent::HostJoin {
+                rank: 2,
+                at_step: 3,
+            }],
+        };
+        let d = FaultDriver::new(&join, 2, true).expect("future join is realizable");
+        assert_eq!(d.grow_step(), Some(3));
+        assert_eq!(d.before_step(0, 2), FaultAction::Continue);
+        assert_eq!(d.before_step(0, 3), FaultAction::Grow);
+        assert_eq!(d.before_step(1, 3), FaultAction::Grow);
+        assert!(!d.aborted(), "growth is a clean stop, not an abort");
+        assert!(d.first_loss().is_none());
+        // Growth wins over a same-step loss: the loss fires under the
+        // re-wired member set, not in this epoch.
+        let compound = FaultScript {
+            events: vec![
+                FaultEvent::HostLoss {
+                    rank: 0,
+                    at_step: 3,
+                },
+                FaultEvent::HostJoin {
+                    rank: 2,
+                    at_step: 3,
+                },
+            ],
+        };
+        let d = FaultDriver::new(&compound, 2, true).unwrap();
+        assert_eq!(d.before_step(0, 3), FaultAction::Grow);
+        // Non-contiguous join ranks are a projection bug, loudly.
+        let scattered = FaultScript {
+            events: vec![FaultEvent::HostJoin {
+                rank: 5,
+                at_step: 3,
+            }],
+        };
+        assert!(matches!(
+            FaultDriver::new(&scattered, 2, true),
+            Err(ExecError::Config(_))
+        ));
     }
 
     #[test]

@@ -59,6 +59,7 @@
 pub mod fault;
 pub mod recovery;
 pub mod reference;
+pub(crate) mod registry;
 pub mod threaded;
 
 use pipebd_data::SyntheticImageDataset;
@@ -91,6 +92,17 @@ pub enum ExecError {
         /// The training step at which the rank died.
         step: usize,
     },
+    /// The device set must grow: a scripted [`HostJoin`] came due, so
+    /// the epoch stopped cleanly at a round boundary for the registry to
+    /// re-wire the channel graph over the enlarged member set. Like
+    /// [`ExecError::RankLost`], structured and never a hang — every
+    /// incumbent worker stops at exactly this step.
+    ///
+    /// [`HostJoin`]: pipebd_sim::FaultEvent::HostJoin
+    MembershipGrow {
+        /// The first training step the joined rank participates in.
+        step: usize,
+    },
     /// The recovery protocol exhausted its restore budget (and no
     /// reference fallback was configured).
     RecoveryExhausted {
@@ -112,6 +124,9 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::RankLost { rank, step } => {
                 write!(f, "rank {rank} lost at step {step}")
+            }
+            ExecError::MembershipGrow { step } => {
+                write!(f, "membership grows at step {step}")
             }
             ExecError::RecoveryExhausted { attempts } => {
                 write!(f, "recovery exhausted after {attempts} restore attempts")

@@ -1,5 +1,5 @@
 //! The recovery protocol: checkpoint → replan → resume, with a bounded
-//! restore budget.
+//! restore budget — in both directions of membership change.
 //!
 //! [`RecoveryRunner::run`] drives the threaded executor under a fault
 //! script. On [`ExecError::RankLost`] it restores the latest checkpoint
@@ -12,6 +12,29 @@
 //! checkpoint, or to a clean [`ExecError::RecoveryExhausted`]. Never a
 //! deadlock — every abort path is structured.
 //!
+//! # Elastic growth
+//!
+//! The member set can also *grow*. A scripted `HostJoin` ends the
+//! current epoch cleanly at the join's round boundary
+//! ([`ExecError::MembershipGrow`], with a forced checkpoint at exactly
+//! that round); the runner then replans over the **enlarged** member
+//! set, projects the script (the admitted join is dropped, later joins
+//! stay pending), re-wires the channel graph by starting a fresh epoch,
+//! and resumes from the boundary checkpoint. Growth consumes no restore
+//! budget — nothing was lost. A join naming a rank of the initial
+//! worker set means that host is absent at step 0 and arrives mid-run:
+//! the first epoch starts over the step-0 members and the join is
+//! renumbered onto a fresh rank beyond them. Rejoin after loss
+//! composes from the two primitives: the lost host's *hardware* comes
+//! back under a fresh logical rank (`HostJoin` on a new id), since a
+//! cancelled worker itself cannot restart.
+//!
+//! Every epoch's checkpoints carry the plan's structural fingerprint,
+//! and restores go through [`CheckpointSink::latest_matching`] against
+//! the lineage of every plan this run has used — a checkpoint from a
+//! foreign run (or a stale sink) fails loudly instead of silently
+//! resuming the wrong model.
+//!
 //! # Replay equivalence
 //!
 //! A recovered run trains the *same model* as an uninterrupted one:
@@ -21,7 +44,9 @@
 //!   replay the same per-index-deterministic batches, and the runner
 //!   never substitutes a batch-split plan for a split-free incumbent
 //!   (the contiguous fallback preserves width 1), so every float op
-//!   recurs in the same order on the same values.
+//!   recurs in the same order on the same values. Growth keeps this:
+//!   the forced boundary checkpoint means the joined rank never
+//!   recomputes pre-join steps.
 //! * **Batch-split plans** — shard-mean averaging reorders float
 //!   summation, so parity carries the usual accumulation-error budget
 //!   (the conformance plane's recovery tolerance), not bitwise equality.
@@ -34,7 +59,7 @@ use pipebd_models::Workload;
 use pipebd_nn::BlockNet;
 use pipebd_sched::replan::replan;
 use pipebd_sched::{DegradedServer, StagePlan};
-use pipebd_sim::{FaultScript, HardwareConfig};
+use pipebd_sim::{FaultEvent, FaultScript, HardwareConfig};
 use pipebd_trace::{SpanKind, TraceCollector};
 
 use super::fault::FaultDriver;
@@ -75,11 +100,17 @@ pub struct RecoveryReport {
     /// The trained result (same contract as a healthy run's outcome).
     pub outcome: FuncOutcome,
     /// Restore attempts consumed (0 = the run never lost a rank).
+    /// Membership growth does not count here — see `grows`.
     pub restores: usize,
-    /// The checkpoint round each restore resumed from (0 = restarted
-    /// from scratch because no checkpoint had been captured yet).
+    /// Membership growths performed (scripted joins admitted at a round
+    /// boundary). Growth consumes no restore budget.
+    pub grows: usize,
+    /// The checkpoint round each restore or growth resumed from (0 =
+    /// restarted from scratch because no checkpoint had been captured
+    /// yet).
     pub resumed_rounds: Vec<usize>,
-    /// Replanning passes performed (one per mid-run restore).
+    /// Replanning passes performed (one per mid-run restore or growth,
+    /// plus one when the run starts elastically short-handed).
     pub replans: usize,
     /// Whether the run finished on the reference-executor fallback.
     pub fell_back: bool,
@@ -107,14 +138,18 @@ pub struct RecoveryRunner<'a> {
 
 impl RecoveryRunner<'_> {
     /// Trains `student` against `teacher` under the fault script,
-    /// recovering from rank losses (see the [module docs](self)).
+    /// recovering from rank losses and admitting scripted joins (see
+    /// the [module docs](self)).
     ///
     /// # Errors
     ///
-    /// Returns [`ExecError::Config`] for unrealizable scripts (host
-    /// joins, overlap violations, non-decoupled configs),
+    /// Returns [`ExecError::Config`] for unrealizable scripts (overlap
+    /// violations, loss-before-join orderings, non-decoupled configs,
+    /// scripts where every rank joins late),
     /// [`ExecError::RecoveryExhausted`] when the budget runs out with no
-    /// fallback configured, or any underlying executor error.
+    /// fallback configured, [`ExecError::Checkpoint`] when the sink's
+    /// checkpoint fails the plan-lineage gate, or any underlying
+    /// executor error.
     pub fn run(
         &self,
         teacher: &BlockNet,
@@ -142,8 +177,50 @@ impl RecoveryRunner<'_> {
         let mut script = self.script.clone();
         let mut resume: Option<Arc<Checkpoint>> = None;
         let mut restores = 0usize;
+        let mut grows = 0usize;
         let mut resumed_rounds = Vec::new();
         let mut replans = 0usize;
+
+        // Elastic start: a join naming an in-set rank means that host is
+        // absent at step 0 and arrives mid-run. Start the first epoch
+        // over the step-0 members — the projection renumbers the join
+        // onto a fresh rank beyond them — and let the grow arm below
+        // admit it when the join comes due.
+        let in_set_join = script
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::HostJoin { rank, .. } if *rank < cfg.devices));
+        if in_set_join {
+            let total = cfg.devices + script.pending_joins(cfg.devices).len();
+            let hw = HardwareConfig::a6000_server(total);
+            let server = DegradedServer::at_step(&hw, &script, 0)
+                .map_err(|v| ExecError::Config(format!("replan: {v}")))?;
+            let members = server.members.clone();
+            let m = members.len();
+            if m == 0 {
+                return Err(ExecError::Config(
+                    "fault script leaves no step-0 members: every rank joins later".into(),
+                ));
+            }
+            if m < cfg.devices {
+                let decision = replan(self.workload, &server, cfg.batch);
+                replans += 1;
+                let mut plan = decision.plan;
+                let indivisible = plan.stages.iter().any(|s| cfg.batch % s.width() != 0);
+                if (preserve_width1 && plan.uses_batch_split()) || indivisible {
+                    plan = StagePlan::contiguous(b, m).map_err(|e| {
+                        ExecError::Config(format!("no runnable plan for {m} initial members: {e}"))
+                    })?;
+                }
+                script = script.for_survivors(&members);
+                cfg.devices = m;
+                cfg.plan = Some(plan);
+            }
+        }
+
+        // The plan fingerprints of every epoch this run has used, newest
+        // last — the lineage restores are checked against.
+        let mut lineage: Vec<String> = vec![cfg.plan.as_ref().unwrap_or(&base_plan).fingerprint()];
 
         loop {
             let driver = Arc::new(FaultDriver::new(
@@ -165,6 +242,7 @@ impl RecoveryRunner<'_> {
                     return Ok(RecoveryReport {
                         outcome,
                         restores,
+                        grows,
                         resumed_rounds,
                         replans,
                         fell_back: false,
@@ -180,6 +258,7 @@ impl RecoveryRunner<'_> {
                             data,
                             &cfg,
                             restores - 1,
+                            grows,
                             resumed_rounds,
                             replans,
                         );
@@ -188,9 +267,12 @@ impl RecoveryRunner<'_> {
                     std::thread::sleep(self.policy.backoff * restores as u32);
 
                     // Degraded membership at the loss step, then a fresh
-                    // plan search over the survivors.
+                    // plan search over the survivors. The rank space
+                    // includes pending joins so a loss + rejoin compound
+                    // script stays valid through the projection.
                     let replan_t0 = self.trace.as_deref().map(TraceCollector::now_ns);
-                    let hw = HardwareConfig::a6000_server(cfg.devices);
+                    let total = cfg.devices + script.pending_joins(cfg.devices).len();
+                    let hw = HardwareConfig::a6000_server(total);
                     let server = DegradedServer::at_step(&hw, &script, step as u32)
                         .map_err(|v| ExecError::Config(format!("replan: {v}")))?;
                     let members = server.members.clone();
@@ -211,11 +293,57 @@ impl RecoveryRunner<'_> {
                     }
                     script = script.for_survivors(&members);
                     cfg.devices = m;
+                    lineage.push(plan.fingerprint());
                     cfg.plan = Some(plan);
                     let restore_t0 = self.trace.as_deref().map(TraceCollector::now_ns);
                     resume = self
                         .sink
-                        .latest()
+                        .latest_matching(&lineage)
+                        .map_err(ExecError::Checkpoint)?
+                        .map(Arc::new);
+                    resumed_rounds.push(resume.as_ref().map_or(0, |c| c.round));
+                    if let (Some(tc), Some(t0)) = (self.trace.as_deref(), restore_t0) {
+                        tc.event(SpanKind::Restore, step as u32, t0, tc.now_ns());
+                    }
+                }
+                Err(ExecError::MembershipGrow { step }) => {
+                    // A scripted join came due: the epoch stopped cleanly
+                    // at the boundary (with a forced checkpoint there), so
+                    // admit the joins and re-wire. Growth consumes no
+                    // restore budget — nothing was lost.
+                    grows += 1;
+                    let replan_t0 = self.trace.as_deref().map(TraceCollector::now_ns);
+                    let total = cfg.devices + script.pending_joins(cfg.devices).len();
+                    let hw = HardwareConfig::a6000_server(total);
+                    let server = DegradedServer::at_step(&hw, &script, step as u32)
+                        .map_err(|v| ExecError::Config(format!("replan: {v}")))?;
+                    let members = server.members.clone();
+                    let m = members.len();
+                    let decision = replan(self.workload, &server, cfg.batch);
+                    replans += 1;
+                    if let (Some(tc), Some(t0)) = (self.trace.as_deref(), replan_t0) {
+                        tc.event(SpanKind::Replan, step as u32, t0, tc.now_ns());
+                    }
+                    let mut plan = decision.plan;
+                    let indivisible = plan.stages.iter().any(|s| cfg.batch % s.width() != 0);
+                    if (preserve_width1 && plan.uses_batch_split()) || indivisible {
+                        plan = StagePlan::contiguous(b, m).map_err(|e| {
+                            ExecError::Config(format!(
+                                "no runnable grown plan for {m} members: {e}"
+                            ))
+                        })?;
+                    }
+                    // Projection drops the admitted joins (their ranks are
+                    // members now) and keeps later joins pending under
+                    // fresh ids, so staggered joins grow epoch by epoch.
+                    script = script.for_survivors(&members);
+                    cfg.devices = m;
+                    lineage.push(plan.fingerprint());
+                    cfg.plan = Some(plan);
+                    let restore_t0 = self.trace.as_deref().map(TraceCollector::now_ns);
+                    resume = self
+                        .sink
+                        .latest_matching(&lineage)
                         .map_err(ExecError::Checkpoint)?
                         .map(Arc::new);
                     resumed_rounds.push(resume.as_ref().map_or(0, |c| c.round));
@@ -237,6 +365,7 @@ impl RecoveryRunner<'_> {
         data: &SyntheticImageDataset,
         cfg: &FuncConfig,
         attempts: usize,
+        grows: usize,
         mut resumed_rounds: Vec<usize>,
         replans: usize,
     ) -> Result<RecoveryReport, ExecError> {
@@ -257,6 +386,7 @@ impl RecoveryRunner<'_> {
         Ok(RecoveryReport {
             outcome,
             restores: attempts,
+            grows,
             resumed_rounds,
             replans,
             fell_back: true,

@@ -1,0 +1,238 @@
+//! The dynamic device-thread registry: worker threads as an *epoch*.
+//!
+//! PR 8's executor spawned a fixed thread set and tore the whole run
+//! down on any membership change. The registry splits that lifecycle
+//! into explicit pieces so the recovery plane can run a sequence of
+//! epochs over a *changing* member set:
+//!
+//! * [`wire_roles`] builds one epoch's channel fabric — the relay
+//!   senders/receivers between adjacent stages and the leader-based
+//!   grad-share channels within widened stages — from a [`StagePlan`].
+//!   Re-wiring after a membership change is simply wiring the next
+//!   epoch's fabric from the replanned incumbent; channels are never
+//!   mutated mid-epoch.
+//! * [`DeviceRegistry`] spawns device workers into the epoch (recording
+//!   a `worker_spawn` trace event per rank) and retires them at the
+//!   epoch's end (`worker_retire`), joining threads, converting panics
+//!   to structured errors, and folding the workers' kernel-pool
+//!   counters into the trace metrics registry.
+//!
+//! An epoch ends in one of three ways, all at a round boundary: the run
+//! completes, a rank is lost (`ExecError::RankLost`), or a scripted
+//! join comes due (`ExecError::MembershipGrow`) and the member set must
+//! grow. In every case `retire` returns each worker's structured
+//! result; the recovery protocol (`exec::recovery`) decides whether a
+//! next epoch follows and over which members.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pipebd_nn::{Block, BlockNet};
+use pipebd_sched::StagePlan;
+use pipebd_tensor::parallel::{self, ComputePool};
+use pipebd_tensor::{SharedTensor, Tensor};
+use pipebd_trace::{SpanKind, TraceCollector};
+
+use super::ExecError;
+
+/// A relayed activation: the sending member's index and its batch shard,
+/// shared by handle (sending is a refcount bump, not a copy).
+pub(crate) type Shard = (usize, SharedTensor);
+/// Gradient-gather payload: sender member index, flattened per-block
+/// gradients (moved out of the sender's params — ownership transfer, no
+/// copies), and per-block shard losses.
+pub(crate) type GradMsg = (usize, Vec<Vec<Tensor>>, Vec<f32>);
+/// Averaged bundle the leader broadcasts: per-block per-param averaged
+/// gradients behind shared handles, plus averaged losses. Cloning the
+/// bundle clones handles, not buffers.
+pub(crate) type GradBundle = (Vec<Vec<SharedTensor>>, Vec<f32>);
+/// One worker's result rows: `(block, member, params, losses)`.
+pub(crate) type WorkerOut = Vec<(usize, usize, Vec<Tensor>, Vec<f32>)>;
+
+/// Everything one device worker needs of the epoch's channel fabric.
+pub(crate) struct DeviceRole {
+    pub device: usize,
+    pub stage_index: usize,
+    pub member: usize,
+    pub width: usize,
+    /// Width of the previous stage (0 for stage 0).
+    pub prev_width: usize,
+    pub first_block: usize,
+    pub teacher_blocks: Vec<Block>,
+    pub student_blocks: Vec<Block>,
+    /// Receivers for the previous stage's shards (empty for stage 0).
+    pub input_rx: Option<Receiver<Shard>>,
+    /// Senders to every member of the next stage (empty for the last).
+    pub output_tx: Vec<Sender<Shard>>,
+    /// Gradient sharing within the stage (leader-based averaging).
+    pub grad_to_leader: Option<Sender<GradMsg>>,
+    pub grad_from_members: Option<Receiver<GradMsg>>,
+    pub grad_broadcast_tx: Vec<Sender<GradBundle>>,
+    pub grad_broadcast_rx: Option<Receiver<GradBundle>>,
+}
+
+/// Builds one epoch's channel fabric for `plan`: per-stage relay
+/// channels, leader gather/broadcast channels for widened stages, and a
+/// [`DeviceRole`] per device rank holding its model blocks and channel
+/// endpoints.
+pub(crate) fn wire_roles(
+    plan: &StagePlan,
+    teacher: &BlockNet,
+    student: &BlockNet,
+) -> Vec<DeviceRole> {
+    let num_stages = plan.stages.len();
+    let mut roles: Vec<DeviceRole> = Vec::with_capacity(plan.num_devices);
+    // Input receivers for each stage's members; pre-created so the
+    // previous stage's senders can be wired while visiting it.
+    let mut stage_rx: Vec<Vec<(Sender<Shard>, Receiver<Shard>)>> = Vec::new();
+    for s in &plan.stages {
+        stage_rx.push((0..s.width()).map(|_| unbounded()).collect());
+    }
+
+    for (si, stage) in plan.stages.iter().enumerate() {
+        // Gradient-sharing fabric for this stage (width > 1).
+        let width = stage.width();
+        let (leader_tx, leader_rx) = unbounded::<GradMsg>();
+        let broadcast: Vec<(Sender<GradBundle>, Receiver<GradBundle>)> =
+            (0..width).map(|_| unbounded()).collect();
+
+        for (member, &device) in stage.devices.iter().enumerate() {
+            let teacher_blocks: Vec<Block> =
+                stage.blocks().map(|i| teacher.block(i).clone()).collect();
+            let student_blocks: Vec<Block> =
+                stage.blocks().map(|i| student.block(i).clone()).collect();
+            let output_tx = if si + 1 < num_stages {
+                stage_rx[si + 1].iter().map(|(tx, _)| tx.clone()).collect()
+            } else {
+                Vec::new()
+            };
+            roles.push(DeviceRole {
+                device,
+                stage_index: si,
+                member,
+                width,
+                prev_width: if si == 0 {
+                    0
+                } else {
+                    plan.stages[si - 1].width()
+                },
+                first_block: stage.first_block,
+                teacher_blocks,
+                student_blocks,
+                input_rx: if si == 0 {
+                    None
+                } else {
+                    Some(stage_rx[si][member].1.clone())
+                },
+                output_tx,
+                grad_to_leader: (width > 1).then(|| leader_tx.clone()),
+                grad_from_members: (width > 1 && member == 0).then(|| leader_rx.clone()),
+                grad_broadcast_tx: if width > 1 && member == 0 {
+                    broadcast.iter().map(|(tx, _)| tx.clone()).collect()
+                } else {
+                    Vec::new()
+                },
+                grad_broadcast_rx: (width > 1).then(|| broadcast[member].1.clone()),
+            });
+        }
+    }
+    roles
+}
+
+/// One epoch's live worker threads. Spawn workers in, retire the epoch
+/// at a round boundary; the next epoch (if any) opens a fresh registry
+/// over a freshly wired fabric.
+pub(crate) struct DeviceRegistry {
+    handles: Vec<(usize, JoinHandle<Result<WorkerOut, ExecError>>)>,
+    /// Kernel pools, retained (handle clones) in `full` trace mode so
+    /// retire can snapshot their steal/park/wake counters after the join.
+    pools: Vec<ComputePool>,
+    trace: Option<Arc<TraceCollector>>,
+    /// First round the epoch's workers participate in.
+    epoch_start: usize,
+    /// First round past the epoch (the run's step count).
+    epoch_end: usize,
+}
+
+impl DeviceRegistry {
+    /// Opens an empty epoch covering rounds `[epoch_start, epoch_end)`.
+    pub fn open(trace: Option<Arc<TraceCollector>>, epoch_start: usize, epoch_end: usize) -> Self {
+        DeviceRegistry {
+            handles: Vec::new(),
+            pools: Vec::new(),
+            trace,
+            epoch_start,
+            epoch_end,
+        }
+    }
+
+    /// Spawns one device worker into the epoch. The worker body runs
+    /// with `pool` installed as its kernel compute pool; a
+    /// `worker_spawn` trace event is recorded at the epoch's first
+    /// round.
+    pub fn spawn(
+        &mut self,
+        device: usize,
+        pool: ComputePool,
+        body: impl FnOnce() -> Result<WorkerOut, ExecError> + Send + 'static,
+    ) {
+        if let Some(tc) = &self.trace {
+            if tc.full() {
+                self.pools.push(pool.clone());
+            }
+            let t = tc.now_ns();
+            tc.event(SpanKind::WorkerSpawn, self.epoch_start as u32, t, t);
+        }
+        self.handles.push((
+            device,
+            std::thread::spawn(move || parallel::install(&pool, body)),
+        ));
+    }
+
+    /// Retires the epoch: joins every worker (spawn order), records a
+    /// `worker_retire` trace event per rank (at the loss/grow step for
+    /// structurally stopped workers, the epoch end otherwise), folds the
+    /// retained kernel-pool counters into the metrics registry, and
+    /// returns each worker's structured result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::WorkerPanic`] if a worker thread panicked.
+    pub fn retire(self) -> Result<Vec<Result<WorkerOut, ExecError>>, ExecError> {
+        let DeviceRegistry {
+            handles,
+            pools,
+            trace,
+            epoch_end,
+            ..
+        } = self;
+        let mut results = Vec::with_capacity(handles.len());
+        for (_device, h) in handles {
+            let r = h
+                .join()
+                .map_err(|p| ExecError::WorkerPanic(format!("{p:?}")))?;
+            if let Some(tc) = &trace {
+                let retired = match &r {
+                    Err(ExecError::RankLost { step, .. })
+                    | Err(ExecError::MembershipGrow { step }) => *step,
+                    _ => epoch_end,
+                };
+                let t = tc.now_ns();
+                tc.event(SpanKind::WorkerRetire, retired as u32, t, t);
+            }
+            results.push(r);
+        }
+        // With every worker joined the pool counters are final.
+        if let Some(tc) = &trace {
+            let m = tc.metrics();
+            for pool in &pools {
+                let st = pool.stats();
+                m.counter("pool.steals").add(st.steals);
+                m.counter("pool.parks").add(st.parks);
+                m.counter("pool.wakes").add(st.wakes);
+            }
+        }
+        Ok(results)
+    }
+}

@@ -39,13 +39,14 @@ use std::sync::{Arc, Barrier};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use pipebd_data::SyntheticImageDataset;
-use pipebd_nn::{mse_loss, Block, BlockNet, Layer, Mode, Sgd};
+use pipebd_nn::{mse_loss, BlockNet, Layer, Mode, Sgd};
 use pipebd_sched::StagePlan;
-use pipebd_tensor::parallel::{self, ComputePool};
+use pipebd_tensor::parallel::ComputePool;
 use pipebd_tensor::{SharedTensor, Tensor};
 use pipebd_trace::{Span, SpanKind, TraceCollector, TrackRecorder};
 
 use super::fault::{FaultAction, FaultDriver, ABORT_POLL};
+use super::registry::{self, DeviceRegistry, DeviceRole, GradBundle, Shard, WorkerOut};
 pub use super::ExecError;
 use super::{FuncConfig, FuncOutcome};
 use crate::checkpoint::{self, BlockState, Checkpoint, CheckpointPolicy, CheckpointSink};
@@ -102,39 +103,6 @@ fn spanned<T>(
             out
         }
     }
-}
-
-/// A relayed activation: the sending member's index and its batch shard,
-/// shared by handle (sending is a refcount bump, not a copy).
-type Shard = (usize, SharedTensor);
-/// Gradient-gather payload: sender member index, flattened per-block
-/// gradients (moved out of the sender's params — ownership transfer, no
-/// copies), and per-block shard losses.
-type GradMsg = (usize, Vec<Vec<Tensor>>, Vec<f32>);
-/// Averaged bundle the leader broadcasts: per-block per-param averaged
-/// gradients behind shared handles, plus averaged losses. Cloning the
-/// bundle clones handles, not buffers.
-type GradBundle = (Vec<Vec<SharedTensor>>, Vec<f32>);
-
-struct DeviceRole {
-    device: usize,
-    stage_index: usize,
-    member: usize,
-    width: usize,
-    /// Width of the previous stage (0 for stage 0).
-    prev_width: usize,
-    first_block: usize,
-    teacher_blocks: Vec<Block>,
-    student_blocks: Vec<Block>,
-    /// Receivers for the previous stage's shards (empty for stage 0).
-    input_rx: Option<Receiver<Shard>>,
-    /// Senders to every member of the next stage (empty for the last).
-    output_tx: Vec<Sender<Shard>>,
-    /// Gradient sharing within the stage (leader-based averaging).
-    grad_to_leader: Option<Sender<GradMsg>>,
-    grad_from_members: Option<Receiver<GradMsg>>,
-    grad_broadcast_tx: Vec<Sender<GradBundle>>,
-    grad_broadcast_rx: Option<Receiver<GradBundle>>,
 }
 
 /// Runs blockwise distillation on device threads following `cfg.plan`
@@ -212,64 +180,15 @@ pub fn run_hooked(
         }
     }
 
-    // Build channel fabric stage by stage.
-    let num_stages = plan.stages.len();
-    let mut roles: Vec<DeviceRole> = Vec::with_capacity(cfg.devices);
-    // input receivers for each stage's members, created when visiting the
-    // *previous* stage is not possible (we need them when wiring senders),
-    // so pre-create all receivers first.
-    let mut stage_rx: Vec<Vec<(Sender<Shard>, Receiver<Shard>)>> = Vec::new();
-    for s in &plan.stages {
-        stage_rx.push((0..s.width()).map(|_| unbounded()).collect());
-    }
-
-    for (si, stage) in plan.stages.iter().enumerate() {
-        // Gradient-sharing fabric for this stage (width > 1).
-        let width = stage.width();
-        let (leader_tx, leader_rx) = unbounded::<GradMsg>();
-        let broadcast: Vec<(Sender<GradBundle>, Receiver<GradBundle>)> =
-            (0..width).map(|_| unbounded()).collect();
-
-        for (member, &device) in stage.devices.iter().enumerate() {
-            let teacher_blocks: Vec<Block> =
-                stage.blocks().map(|i| teacher.block(i).clone()).collect();
-            let student_blocks: Vec<Block> =
-                stage.blocks().map(|i| student.block(i).clone()).collect();
-            let output_tx = if si + 1 < num_stages {
-                stage_rx[si + 1].iter().map(|(tx, _)| tx.clone()).collect()
-            } else {
-                Vec::new()
-            };
-            roles.push(DeviceRole {
-                device,
-                stage_index: si,
-                member,
-                width,
-                prev_width: if si == 0 {
-                    0
-                } else {
-                    plan.stages[si - 1].width()
-                },
-                first_block: stage.first_block,
-                teacher_blocks,
-                student_blocks,
-                input_rx: if si == 0 {
-                    None
-                } else {
-                    Some(stage_rx[si][member].1.clone())
-                },
-                output_tx,
-                grad_to_leader: (width > 1).then(|| leader_tx.clone()),
-                grad_from_members: (width > 1 && member == 0).then(|| leader_rx.clone()),
-                grad_broadcast_tx: if width > 1 && member == 0 {
-                    broadcast.iter().map(|(tx, _)| tx.clone()).collect()
-                } else {
-                    Vec::new()
-                },
-                grad_broadcast_rx: (width > 1).then(|| broadcast[member].1.clone()),
-            });
-        }
-    }
+    // Wire one epoch's channel fabric from the plan. Every run is an
+    // epoch of the device-thread registry; membership changes end the
+    // epoch, and the next `run_hooked` call (driven by the recovery
+    // protocol) wires a fresh fabric over the new member set.
+    let roles = registry::wire_roles(&plan, teacher, student);
+    // The plan's structural fingerprint stamps every checkpoint this run
+    // writes, so a later resume can prove lineage (see
+    // `CheckpointSink::latest_matching`).
+    let fingerprint = plan.fingerprint();
 
     let barrier = Arc::new(Barrier::new(cfg.devices));
     let data = Arc::new(data.clone());
@@ -290,18 +209,13 @@ pub fn run_hooked(
     // disconnects and the assembly loop ends — no polling needed.
     let ckpt_channel = hooks.checkpoint.as_ref().map(|_| unbounded::<CkptFrag>());
 
-    let mut handles = Vec::with_capacity(roles.len());
-    // Kernel pools, retained (handle clones) so `full`-mode tracing can
-    // snapshot their steal/park/wake counters after the join.
-    let mut pools: Vec<ComputePool> = Vec::new();
+    let start_round = hooks.resume.as_ref().map_or(0, |c| c.round);
+    let mut devices = DeviceRegistry::open(hooks.trace.clone(), start_round, cfg.steps);
     for role in roles {
         let barrier = Arc::clone(&barrier);
         let data = Arc::clone(&data);
         let cfg = Arc::clone(&cfg_arc);
         let pool = ComputePool::new(intra_widths[role.device]);
-        if hooks.trace.as_ref().is_some_and(|t| t.full()) {
-            pools.push(pool.clone());
-        }
         let wh = WorkerHooks {
             driver: hooks.driver.clone(),
             resume: hooks.resume.clone(),
@@ -311,9 +225,8 @@ pub fn run_hooked(
             }),
             trace: hooks.trace.clone(),
         };
-        handles.push(std::thread::spawn(move || {
-            parallel::install(&pool, || worker(role, barrier, data, cfg, wh))
-        }));
+        let device = role.device;
+        devices.spawn(device, pool, move || worker(role, barrier, data, cfg, wh));
     }
 
     // Assemble checkpoints while the workers run. A round is stored the
@@ -339,6 +252,7 @@ pub fn run_hooked(
                     batch: cfg.batch,
                     lr: cfg.lr,
                     momentum: cfg.momentum,
+                    plan_fingerprint: fingerprint.clone(),
                     blocks,
                 };
                 if ckpt_err.is_none() {
@@ -350,19 +264,17 @@ pub fn run_hooked(
         }
     }
 
-    // Collect per-device results: (first_block, member, params, losses).
-    // Join everything before deciding the error so a rank loss is
-    // reported as the structured `RankLost` rather than whichever
-    // secondary hangup a surviving worker observed first.
+    // Retire the epoch: join everything before deciding the error so a
+    // rank loss is reported as the structured `RankLost` rather than
+    // whichever secondary hangup a surviving worker observed first; a
+    // scripted membership growth likewise outranks secondary errors but
+    // yields to a genuine loss at the same boundary.
     let mut by_block: Vec<Option<Vec<Tensor>>> = vec![None; b];
     let mut losses_by_block: Vec<Option<Vec<f32>>> = vec![None; b];
     let mut replicas: Vec<Vec<(usize, Vec<Tensor>)>> = vec![Vec::new(); b];
     let mut errors: Vec<ExecError> = Vec::new();
-    for h in handles {
-        match h
-            .join()
-            .map_err(|p| ExecError::WorkerPanic(format!("{p:?}")))?
-        {
+    for result in devices.retire()? {
+        match result {
             Err(e) => errors.push(e),
             Ok(out) => {
                 for (block, member, params, losses) in out {
@@ -375,22 +287,16 @@ pub fn run_hooked(
             }
         }
     }
-    // With every worker joined, the pool counters are final; aggregate
-    // them into the metrics registry (full mode retained the handles).
-    if let Some(tc) = &hooks.trace {
-        let m = tc.metrics();
-        for pool in &pools {
-            let st = pool.stats();
-            m.counter("pool.steals").add(st.steals);
-            m.counter("pool.parks").add(st.parks);
-            m.counter("pool.wakes").add(st.wakes);
-        }
-    }
 
     if !errors.is_empty() {
         let idx = errors
             .iter()
             .position(|e| matches!(e, ExecError::RankLost { .. }))
+            .or_else(|| {
+                errors
+                    .iter()
+                    .position(|e| matches!(e, ExecError::MembershipGrow { .. }))
+            })
             .unwrap_or(0);
         return Err(errors.swap_remove(idx));
     }
@@ -427,8 +333,6 @@ pub fn run_hooked(
         .collect();
     Ok(FuncOutcome { params, losses })
 }
-
-type WorkerOut = Vec<(usize, usize, Vec<Tensor>, Vec<f32>)>;
 
 fn worker(
     mut role: DeviceRole,
@@ -473,13 +377,22 @@ fn worker(
         vec![std::collections::VecDeque::new(); role.prev_width];
 
     for step in start..cfg.steps {
-        // (0) Fault gate: serve this rank's slowdown pause, or die.
+        // (0) Fault gate: serve this rank's slowdown pause, stop for a
+        // membership growth, or die. A scripted join stops *every*
+        // incumbent at the same round boundary (the driver gates growth
+        // before the loss check, so all ranks agree on the boundary);
+        // channel sends for earlier steps have already balanced, so the
+        // epoch drains cleanly without an abort flag.
         if let Some(d) = driver {
-            if d.before_step(role.device, step) == FaultAction::Lost {
-                return Err(ExecError::RankLost {
-                    rank: role.device,
-                    step,
-                });
+            match d.before_step(role.device, step) {
+                FaultAction::Continue => {}
+                FaultAction::Grow => return Err(ExecError::MembershipGrow { step }),
+                FaultAction::Lost => {
+                    return Err(ExecError::RankLost {
+                        rank: role.device,
+                        step,
+                    })
+                }
             }
         }
 
@@ -585,11 +498,17 @@ fn worker(
 
         // (7) Checkpoint capture at round boundaries. Member 0 streams
         // its blocks' state to the assembly loop; replicas hold bitwise
-        // identical state, so one capture per block suffices.
+        // identical state, so one capture per block suffices. A pending
+        // membership growth forces a capture at exactly the grow
+        // boundary (regardless of the policy interval), so the next
+        // epoch resumes from the joined round and the new rank never
+        // recomputes pre-join steps.
         if role.member == 0 {
             if let Some((policy, tx)) = &hooks.ckpt {
                 let done = step + 1;
-                if policy.due(done, cfg.steps) {
+                let grow_boundary =
+                    driver.and_then(FaultDriver::grow_step) == Some(done) && done < cfg.steps;
+                if policy.due(done, cfg.steps) || grow_boundary {
                     spanned(&mut rec, SpanKind::Checkpoint, None, step as u32, || {
                         for (i, s) in role.student_blocks.iter_mut().enumerate() {
                             let state = checkpoint::capture_block(

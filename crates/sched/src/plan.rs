@@ -219,6 +219,38 @@ impl StagePlan {
             .map(|d| (base + usize::from(d < extra)).max(1))
             .collect()
     }
+
+    /// A compact structural fingerprint: two plans share a fingerprint
+    /// iff they place the same blocks on the same device ranks. The
+    /// recovery plane stamps checkpoints with the fingerprint of the
+    /// plan that wrote them, so a restore under a *different* incumbent
+    /// (after replanning over a changed member set) is detected instead
+    /// of silently resuming mismatched state.
+    ///
+    /// Format: `"{num_blocks}x{num_devices}:{hash:016x}"` where the hash
+    /// is FNV-1a over the stage structure — stable across processes (no
+    /// `RandomState`), cheap, and human-greppable in artifacts.
+    pub fn fingerprint(&self) -> String {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.stages.len() as u64);
+        for s in &self.stages {
+            mix(s.first_block as u64);
+            mix(s.num_blocks as u64);
+            mix(s.devices.len() as u64);
+            for &d in &s.devices {
+                mix(d as u64);
+            }
+        }
+        format!("{}x{}:{h:016x}", self.num_blocks, self.num_devices)
+    }
 }
 
 impl std::fmt::Display for StagePlan {
@@ -420,6 +452,22 @@ mod tests {
         assert_eq!(p.intra_pool_widths(6), vec![2, 2, 1, 1]);
         assert_eq!(p.intra_pool_widths(8), vec![2, 2, 2, 2]);
         assert_eq!(p.intra_pool_widths(11), vec![3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn fingerprint_separates_structures_and_is_stable() {
+        let a = StagePlan::from_widths(&[(3, 3), (3, 1)], 6, 4).unwrap();
+        let b = StagePlan::from_widths(&[(1, 2), (2, 1), (3, 1)], 6, 4).unwrap();
+        assert_eq!(a.fingerprint(), a.clone().fingerprint(), "deterministic");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert!(a.fingerprint().starts_with("6x4:"));
+        // Every plan in a small enumeration gets a distinct fingerprint.
+        let plans = enumerate_hybrid_plans(6, 4);
+        let mut prints: Vec<String> = plans.iter().map(StagePlan::fingerprint).collect();
+        prints.sort_unstable();
+        let before = prints.len();
+        prints.dedup();
+        assert_eq!(prints.len(), before, "fingerprint collision in B=6 N=4");
     }
 
     #[test]

@@ -258,13 +258,48 @@ impl FaultScript {
         Ok(())
     }
 
-    /// Projects the script onto the surviving member list after a host
-    /// loss: events on ranks outside `members` are dropped, surviving
-    /// ranks are renumbered to their position in `members`, and loader
-    /// events are kept verbatim. Steps stay global — a resumed run keeps
+    /// Projects the script onto the current member list after a
+    /// membership change: events on dead ranks are dropped, member ranks
+    /// are renumbered to their position in `members`, and loader events
+    /// are kept verbatim. Steps stay global — a resumed run keeps
     /// counting training steps from the checkpoint, not from zero.
+    ///
+    /// Join events get the asymmetric treatment membership demands:
+    ///
+    /// * A join whose rank is already *in* `members` is **dropped**, not
+    ///   remapped — the member has joined, and re-emitting the event
+    ///   against its renumbered id would re-arm it, marking a live rank
+    ///   dead before `at_step` on a resumed run.
+    /// * A join whose rank is *absent* from `members` is a future member:
+    ///   it is renumbered onto a fresh logical id appended after the
+    ///   members (`members.len()`, `members.len() + 1`, ... in
+    ///   deterministic `(at_step, rank)` order), so pending joins survive
+    ///   the projection instead of vanishing. Non-join events on such a
+    ///   rank (a slowdown or loss scheduled after it joins) follow it to
+    ///   the fresh id.
     pub fn for_survivors(&self, members: &[usize]) -> FaultScript {
         let remap = |rank: usize| members.iter().position(|&m| m == rank);
+        // Future members: ranks with a join event that are not in
+        // `members` yet, ordered by (earliest join step, rank).
+        let mut pending: Vec<(u32, usize)> = Vec::new();
+        for e in &self.events {
+            if let FaultEvent::HostJoin { rank, at_step } = *e {
+                if remap(rank).is_none() {
+                    match pending.iter_mut().find(|(_, r)| *r == rank) {
+                        Some(p) => p.0 = p.0.min(at_step),
+                        None => pending.push((at_step, rank)),
+                    }
+                }
+            }
+        }
+        pending.sort_unstable();
+        let fresh = |rank: usize| {
+            pending
+                .iter()
+                .position(|&(_, r)| r == rank)
+                .map(|i| members.len() + i)
+        };
+        let place = |rank: usize| remap(rank).or_else(|| fresh(rank));
         let events = self
             .events
             .iter()
@@ -274,18 +309,19 @@ impl FaultScript {
                     factor,
                     start_step,
                     end_step,
-                } => remap(rank).map(|rank| FaultEvent::Slowdown {
+                } => place(rank).map(|rank| FaultEvent::Slowdown {
                     rank,
                     factor,
                     start_step,
                     end_step,
                 }),
                 FaultEvent::HostLoss { rank, at_step } => {
-                    remap(rank).map(|rank| FaultEvent::HostLoss { rank, at_step })
+                    place(rank).map(|rank| FaultEvent::HostLoss { rank, at_step })
                 }
-                FaultEvent::HostJoin { rank, at_step } => {
-                    remap(rank).map(|rank| FaultEvent::HostJoin { rank, at_step })
-                }
+                FaultEvent::HostJoin { rank, at_step } => match remap(rank) {
+                    Some(_) => None,
+                    None => fresh(rank).map(|rank| FaultEvent::HostJoin { rank, at_step }),
+                },
                 FaultEvent::LoaderSlowdown {
                     factor,
                     start_step,
@@ -298,6 +334,22 @@ impl FaultScript {
             })
             .collect();
         FaultScript { events }
+    }
+
+    /// Join events for ranks at or beyond the `devices`-rank worker set —
+    /// future members the executor has not spawned yet. Returns
+    /// `(rank, at_step)` pairs sorted by `(at_step, rank)`.
+    pub fn pending_joins(&self, devices: usize) -> Vec<(usize, u32)> {
+        let mut joins: Vec<(u32, usize)> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::HostJoin { rank, at_step } if rank >= devices => Some((at_step, rank)),
+                _ => None,
+            })
+            .collect();
+        joins.sort_unstable();
+        joins.into_iter().map(|(s, r)| (r, s)).collect()
     }
 
     /// Combined slowdown factor for GPU `rank` at training `step`
@@ -749,6 +801,94 @@ mod tests {
         projected.validate(2).expect("projection stays valid");
         // Projecting a healthy script is a no-op.
         assert!(FaultScript::healthy().for_survivors(&[0]).is_healthy());
+    }
+
+    #[test]
+    fn for_survivors_drops_joins_already_in_the_member_set() {
+        // Compound loss + join: rank 1 dies at step 5, rank 2 joined at
+        // step 3. Projected at members [0, 2, 3] (rank 2 is *in*), the
+        // join must be dropped — the old remap-by-position behavior
+        // re-emitted it as `HostJoin { rank: 1, at_step: 3 }`, re-arming
+        // a finished join against a renumbered live rank, so a resumed
+        // run replaying from a round < 3 treated logical rank 1 as dead.
+        let script = FaultScript {
+            events: vec![
+                FaultEvent::HostLoss {
+                    rank: 1,
+                    at_step: 5,
+                },
+                FaultEvent::HostJoin {
+                    rank: 2,
+                    at_step: 3,
+                },
+            ],
+        };
+        let projected = script.for_survivors(&[0, 2, 3]);
+        assert!(
+            !projected
+                .events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::HostJoin { .. })),
+            "a join for a present member must be dropped, got {projected:?}"
+        );
+        // The loss rides on dead rank 1 — not in `members` — so it is
+        // dropped with the rank, and nothing remains of the script.
+        assert!(
+            projected.is_healthy(),
+            "expected a healthy projection, got {projected:?}"
+        );
+        // Every projected member is alive at every step ≥ the join step.
+        for r in 0..3 {
+            assert!(projected.alive(r, 3), "rank {r} armed spuriously");
+        }
+    }
+
+    #[test]
+    fn for_survivors_renumbers_future_joins_to_fresh_ids() {
+        // Ranks [0, 2] survive a loss of rank 1; ranks 3 and 4 join
+        // later. Future joins must survive the projection under fresh
+        // logical ids members.len().. in (at_step, rank) order, and the
+        // slowdown scheduled on a future member follows it.
+        let script = FaultScript {
+            events: vec![
+                FaultEvent::HostJoin {
+                    rank: 4,
+                    at_step: 6,
+                },
+                FaultEvent::HostJoin {
+                    rank: 3,
+                    at_step: 4,
+                },
+                FaultEvent::Slowdown {
+                    rank: 3,
+                    factor: 2.0,
+                    start_step: 5,
+                    end_step: 7,
+                },
+            ],
+        };
+        let projected = script.for_survivors(&[0, 2]);
+        assert_eq!(
+            projected.events,
+            vec![
+                FaultEvent::HostJoin {
+                    rank: 3,
+                    at_step: 6,
+                },
+                FaultEvent::HostJoin {
+                    rank: 2,
+                    at_step: 4,
+                },
+                FaultEvent::Slowdown {
+                    rank: 2,
+                    factor: 2.0,
+                    start_step: 5,
+                    end_step: 7,
+                },
+            ]
+        );
+        assert_eq!(projected.pending_joins(2), vec![(2, 4), (3, 6)]);
+        assert!(script.pending_joins(5).is_empty());
     }
 
     #[test]

@@ -79,6 +79,9 @@ pub struct ScenarioOutcome {
     /// Replanning passes the recovery protocol performed (executor-level;
     /// distinct from the sim lowering's `fault_segments`).
     pub exec_replans: usize,
+    /// Membership growths the recovery protocol performed (elastic joins
+    /// admitted at a round boundary; growth consumes no restore budget).
+    pub grows: usize,
     /// Whether the recovered run finished on the reference-executor
     /// fallback after exhausting its restore budget.
     pub fell_back: bool,
@@ -105,7 +108,8 @@ impl ArtifactPayload for ConformanceReport {
     // segment count).
     // V3: outcomes carry the executor-recovery fields (recovery_checked,
     // restores, exec_replans, fell_back).
-    const VERSION: u32 = 3;
+    // V4: outcomes carry the elastic-growth count (`grows`).
+    const VERSION: u32 = 4;
 }
 
 /// Steady-state period of a simulated task graph: the spread of the last
@@ -293,6 +297,8 @@ struct RecoveryMeasurement {
     restores: usize,
     /// Executor-level replanning passes.
     replans: usize,
+    /// Membership growths the protocol performed.
+    grows: usize,
     /// Whether the run finished on the reference fallback.
     fell_back: bool,
 }
@@ -345,6 +351,7 @@ fn recovery_differential(s: &Scenario, fault: &FaultCase) -> Result<RecoveryMeas
         loss_diff: f64::from(report.outcome.max_loss_diff(&golden)),
         restores: report.restores,
         replans: report.replans,
+        grows: report.grows,
         fell_back: report.fell_back,
     })
 }
@@ -422,6 +429,7 @@ pub fn run_scenario(s: &Scenario, book: &ToleranceBook) -> ScenarioOutcome {
         recovery_checked: false,
         restores: 0,
         exec_replans: 0,
+        grows: 0,
         fell_back: false,
         pass: false,
         detail: String::new(),
@@ -442,6 +450,7 @@ pub fn run_scenario(s: &Scenario, book: &ToleranceBook) -> ScenarioOutcome {
                     outcome.max_loss_diff = m.loss_diff;
                     outcome.restores = m.restores;
                     outcome.exec_replans = m.replans;
+                    outcome.grows = m.grows;
                     outcome.fell_back = m.fell_back;
                     let worst = m.param_diff.max(m.loss_diff);
                     outcome.exec_ok = if tol == 0.0 {
@@ -469,6 +478,24 @@ pub fn run_scenario(s: &Scenario, book: &ToleranceBook) -> ScenarioOutcome {
                         failures.push(format!(
                             "membership-preserving script triggered {} restores",
                             m.restores
+                        ));
+                    }
+                    // The same cross-check for elastic joins: a script
+                    // whose join fires inside the run must grow the
+                    // member set (growth, not restores — growing consumes
+                    // no restore budget), and a join-free script must
+                    // never grow it.
+                    let joins = fault.script.events.iter().any(|e| {
+                        matches!(e, pipebd_sim::FaultEvent::HostJoin { at_step, .. }
+                            if *at_step > 0 && (*at_step as usize) < s.exec_steps)
+                    });
+                    if joins && m.grows == 0 {
+                        failures.push("elastic-join script grew nothing".into());
+                    }
+                    if !joins && m.grows > 0 {
+                        failures.push(format!(
+                            "join-free script recorded {} membership growths",
+                            m.grows
                         ));
                     }
                 }

@@ -43,7 +43,12 @@
 //!   the surviving ranks, and resumed — and the recovered parameters must
 //!   match an uninterrupted reference run, *bitwise* for width-1
 //!   incumbents and within [`ToleranceBook::RECOVERY_SPLIT_EXEC`] for
-//!   batch-split ones (replay equivalence, executed).
+//!   batch-split ones (replay equivalence, executed). The rejoin slice
+//!   extends this to *elastic growth*: hosts joining mid-run — including
+//!   a killed rank's hardware rejoining under a fresh logical rank — are
+//!   admitted at a round boundary by the executor's device-thread
+//!   registry, consume no restore budget, and must preserve the same
+//!   replay-equivalence bounds across the grow.
 //!
 //! Scenarios ([`Scenario`]) and outcomes ([`ConformanceReport`]) are
 //! serializable artifacts, persisted through `pipebd_artifact` by the

@@ -399,7 +399,9 @@ impl ArtifactPayload for ScenarioSet {
     // V2: scenarios carry the fault axis (`fault`) and `batch_norm`.
     // V3: scenarios carry the kernel-parallelism axis (`pool_size`).
     // V4: fault cases carry the executor-recovery axis (`exec_recovery`).
-    const VERSION: u32 = 4;
+    // V5: the rejoin slice — elastic join/rejoin scripts driven through
+    // the executor-recovery protocol.
+    const VERSION: u32 = 5;
 }
 
 /// The model-shape axis: `(blocks, heavy_first, supernet_student)`.
@@ -852,6 +854,47 @@ pub fn enumerate() -> Vec<Scenario> {
             }
         }
     }
+    // The rejoin slice: elastic-membership scripts driven against the
+    // real threaded executor. A host absent at step 0 joins mid-run (the
+    // device-thread registry grows the worker set at its round boundary),
+    // and — where the rank space allows it — a killed rank's hardware
+    // rejoins two rounds later under a fresh logical rank. TR+DPU
+    // incumbents stay width-1 through every grow, so their recovered
+    // runs assert *bitwise* replay; the hybrid incumbent re-checks the
+    // batch-split budget across membership growth.
+    for (ranks, exec_batch) in RANKS {
+        for strategy in RECOVERY_STRATEGIES {
+            if strategy == ConformanceStrategy::Hybrid && ranks < 3 {
+                continue;
+            }
+            for (tag, class, script) in rejoin_variants(ranks) {
+                let id = format!("fault-rejoin-r{ranks}-{strategy}-{tag}");
+                out.push(Scenario {
+                    seed: fnv1a(&id),
+                    id,
+                    blocks: 6,
+                    heavy_first: false,
+                    sim_workload: SimWorkload::Synthetic,
+                    supernet: false,
+                    ranks,
+                    sim_batch: 256,
+                    exec_batch,
+                    exec_steps: 10,
+                    strategy,
+                    subject: ExecutorChoice::Threaded,
+                    kernel_policy: "blocked".to_string(),
+                    batch_norm: false,
+                    pool_size: 1,
+                    fault: Some(FaultCase {
+                        class,
+                        replan: true,
+                        exec_recovery: true,
+                        script,
+                    }),
+                });
+            }
+        }
+    }
     out
 }
 
@@ -899,6 +942,61 @@ fn recovery_variants(ranks: usize) -> Vec<(&'static str, FaultClass, FaultScript
             ]),
         ),
     ]
+}
+
+/// The elastic-membership variants of the rejoin slice. In-set join
+/// semantics: the joining rank is absent at step 0 (the first epoch runs
+/// short-handed over a replanned member set) and is admitted at its
+/// round boundary. The loss-then-rejoin compound needs a third rank —
+/// [`FaultScript::validate`] rightly rejects a rank rejoining under its
+/// own cancelled id — so it is emitted only for `ranks >= 3`.
+fn rejoin_variants(ranks: usize) -> Vec<(&'static str, FaultClass, FaultScript)> {
+    use FaultEvent::{HostJoin, HostLoss, Slowdown};
+    let last = ranks - 1;
+    let script = |events: Vec<FaultEvent>| FaultScript { events };
+    let mut out = vec![
+        (
+            "join1",
+            FaultClass::Join,
+            script(vec![HostJoin {
+                rank: last,
+                at_step: 4,
+            }]),
+        ),
+        (
+            "growmix",
+            FaultClass::Compound,
+            script(vec![
+                HostJoin {
+                    rank: last,
+                    at_step: 4,
+                },
+                Slowdown {
+                    rank: 0,
+                    factor: 2.0,
+                    start_step: 6,
+                    end_step: u32::MAX,
+                },
+            ]),
+        ),
+    ];
+    if ranks >= 3 {
+        out.push((
+            "rejoin",
+            FaultClass::Compound,
+            script(vec![
+                HostLoss {
+                    rank: 1,
+                    at_step: 4,
+                },
+                HostJoin {
+                    rank: last,
+                    at_step: 6,
+                },
+            ]),
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1002,7 +1100,7 @@ mod tests {
             recovery.iter().any(|s| s.exec_tolerance() != Ok(0.0)),
             "no batch-split recovery scenario"
         );
-        for class in [FaultClass::Slowdown, FaultClass::Loss, FaultClass::Compound] {
+        for class in FaultClass::ALL {
             assert!(
                 recovery
                     .iter()
@@ -1010,6 +1108,36 @@ mod tests {
                 "recovery slice misses {class:?}"
             );
         }
+        // The rejoin slice: elastic joins driven through the executor,
+        // including a bitwise width-1 grow and the loss-then-rejoin
+        // compound.
+        assert!(
+            recovery.iter().any(|s| {
+                s.exec_tolerance() == Ok(0.0)
+                    && s.fault.as_ref().is_some_and(|f| {
+                        f.script
+                            .events
+                            .iter()
+                            .any(|e| matches!(e, FaultEvent::HostJoin { .. }))
+                    })
+            }),
+            "no bitwise elastic-join recovery scenario"
+        );
+        assert!(
+            recovery.iter().any(|s| {
+                s.fault.as_ref().is_some_and(|f| {
+                    f.script
+                        .events
+                        .iter()
+                        .any(|e| matches!(e, FaultEvent::HostJoin { .. }))
+                        && f.script
+                            .events
+                            .iter()
+                            .any(|e| matches!(e, FaultEvent::HostLoss { .. }))
+                })
+            }),
+            "no loss-then-rejoin recovery scenario"
+        );
         // Recovery scripts must fire inside the executor run: every event
         // step sits strictly below the slice's step count.
         for s in &recovery {

@@ -55,9 +55,11 @@ impl Gauge {
     }
 }
 
-/// Number of histogram buckets. Bucket 0 holds zeros; bucket `i > 0`
-/// holds values in `[2^(i-1), 2^i)`; the last bucket absorbs everything
-/// above `2^62`.
+/// Number of histogram buckets. Bucket 0 holds zeros; bucket `0 < i < 63`
+/// holds values in the half-open `[2^(i-1), 2^i)` — so an exact power of
+/// two `2^k` lands in bucket `k + 1`, the bucket whose *lower* bound it
+/// is; the last bucket (63) absorbs everything at or above `2^62`, i.e.
+/// the closed range `[2^62, u64::MAX]`.
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
 /// A fixed-bucket log₂ histogram over `u64` samples (durations in
@@ -85,8 +87,11 @@ impl Histogram {
         (u64::BITS - v.leading_zeros()).min(HISTOGRAM_BUCKETS as u32 - 1) as usize
     }
 
-    /// The half-open value range `[lo, hi)` of bucket `i` (the last
-    /// bucket's `hi` saturates to `u64::MAX`).
+    /// The value range of bucket `i`: half-open `[lo, hi)` for every
+    /// bucket except the last, whose range is the **closed**
+    /// `[2^62, u64::MAX]` — its returned `hi` of `u64::MAX` is itself a
+    /// member of the bucket, not an exclusive bound (there is no `2^64`
+    /// in `u64` to exclude up to).
     pub fn bucket_bounds(i: usize) -> (u64, u64) {
         assert!(i < HISTOGRAM_BUCKETS, "bucket {i} out of range");
         if i == 0 {
@@ -246,7 +251,9 @@ pub struct GaugeSnapshot {
 pub struct HistogramBucket {
     /// Inclusive lower bound of the bucket's value range.
     pub lo: u64,
-    /// Exclusive upper bound (saturating for the last bucket).
+    /// Exclusive upper bound — except the last bucket, where `hi` is
+    /// `u64::MAX` and *inclusive* (that bucket is the closed range
+    /// `[2^62, u64::MAX]`).
     pub hi: u64,
     /// Samples in the bucket.
     pub count: u64,
@@ -298,6 +305,35 @@ mod tests {
         assert_eq!(Histogram::bucket_index(3), 2);
         assert_eq!(Histogram::bucket_index(4), 3);
         assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_edges_are_pinned_at_powers_of_two() {
+        // 1 is the sole member of bucket 1: [1, 2).
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_bounds(1), (1, 2));
+        // An exact power of two 2^k opens bucket k+1 (it is that bucket's
+        // inclusive lower bound), while 2^k - 1 closes bucket k — for
+        // every k up to the saturation point.
+        for k in 1..62u32 {
+            let v = 1u64 << k;
+            assert_eq!(Histogram::bucket_index(v), k as usize + 1, "2^{k}");
+            assert_eq!(Histogram::bucket_index(v - 1), k as usize, "2^{k}-1");
+            let (lo, hi) = Histogram::bucket_bounds(k as usize + 1);
+            assert_eq!(lo, v, "2^{k} is bucket {}'s inclusive lo", k + 1);
+            assert!(v < hi);
+        }
+        // The saturation edge: 2^62 - 1 is the top of bucket 62; 2^62,
+        // 2^63, and u64::MAX all land in the closed last bucket.
+        assert_eq!(Histogram::bucket_index((1u64 << 62) - 1), 62);
+        assert_eq!(Histogram::bucket_index(1u64 << 62), 63);
+        assert_eq!(Histogram::bucket_index(1u64 << 63), 63);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+        let (lo, hi) = Histogram::bucket_bounds(63);
+        assert_eq!((lo, hi), (1u64 << 62, u64::MAX));
+        // The last bucket's `hi` is inclusive: u64::MAX itself lands in
+        // the bucket whose bounds report it.
+        assert_eq!(Histogram::bucket_index(hi), 63);
     }
 
     #[test]

@@ -95,6 +95,13 @@ pub enum SpanKind {
     Replan,
     /// Recovery: restoring from the latest checkpoint.
     Restore,
+    /// Registry: a device worker thread entered the epoch (`step` is the
+    /// first round the worker participates in).
+    WorkerSpawn,
+    /// Registry: a device worker thread left the epoch (retired at a
+    /// round boundary, lost, or run complete; `step` is the first round
+    /// the worker no longer participates in).
+    WorkerRetire,
 }
 
 impl SpanKind {
@@ -111,6 +118,8 @@ impl SpanKind {
             SpanKind::Checkpoint => "checkpoint",
             SpanKind::Replan => "replan",
             SpanKind::Restore => "restore",
+            SpanKind::WorkerSpawn => "worker_spawn",
+            SpanKind::WorkerRetire => "worker_retire",
         }
     }
 
